@@ -1,0 +1,197 @@
+"""Ablation benchmarks for the design decisions called out in DESIGN.md.
+
+D1 — memory restructuring: transposed/SoA layouts vs canonical stream
+     order, across input sizes.
+D2 — super-tile shape by reuse metric vs fixed square tiles.
+D3 — the reduction-structure crossover: model-selected vs always-single
+     vs always-two-kernel over the (N_arrays, N_elements) plane.
+D4 — horizontal thread integration only pays when blocks are excessive.
+"""
+
+import math
+
+import pytest
+
+from repro.apps import stencil2d
+from repro.compiler.plans import (MapPlan, MapShape, ReduceShape,
+                                  ReduceSingleKernelPlan,
+                                  ReduceThreadPerArrayPlan,
+                                  ReduceTwoKernelPlan, StencilShape,
+                                  TiledStencilPlan)
+from repro.compiler.plans.reduceplan import (LAYOUT_ROW_SOA, LAYOUT_ROWS,
+                                             LAYOUT_TRANSPOSED)
+from repro.compiler.reducers import ScalarReducer
+from repro.gpu import TESLA_C2050
+from repro.ir import classify, lift_code, parse_expr
+from repro.perfmodel import PerformanceModel
+
+
+SPEC = TESLA_C2050
+MODEL = PerformanceModel(SPEC)
+
+SDOT_SRC = """
+def sdot(n):
+    acc = 0.0
+    for i in range(n):
+        acc = acc + pop() * pop()
+    push(acc)
+"""
+
+
+def _sdot_reducer():
+    pattern = classify(lift_code(SDOT_SRC)).pattern
+    return lambda p: ScalarReducer(pattern, p)
+
+
+class TestD1MemoryRestructuring:
+    """SoA restructuring wins whenever the pop rate exceeds one."""
+
+    def test_restructured_reduction_faster_across_sizes(self, benchmark):
+        reducer_fn = _sdot_reducer()
+
+        def sweep():
+            gains = []
+            for n in (1 << 12, 1 << 16, 1 << 20, 1 << 24):
+                shape = ReduceShape(lambda p, n=n: 1, lambda p, n=n: n, 2)
+                rows = ReduceTwoKernelPlan(SPEC, "d1", shape, reducer_fn,
+                                           LAYOUT_ROWS)
+                soa = ReduceTwoKernelPlan(SPEC, "d1", shape, reducer_fn,
+                                          LAYOUT_ROW_SOA)
+                gains.append(rows.predicted_seconds(MODEL, {})
+                             / soa.predicted_seconds(MODEL, {}))
+            return gains
+
+        gains = benchmark(sweep)
+        print(f"\nD1 sdot SoA gain by size: "
+              f"{[f'{g:.2f}x' for g in gains]}")
+        # Large sizes are bandwidth-bound: restructuring pays more there.
+        assert gains[-1] > 1.3
+        assert gains[-1] >= gains[0] * 0.9
+
+    def test_map_restructuring_gain(self):
+        outputs = [parse_expr("_x0 + _x1")]
+        shape = MapShape(lambda p: 1 << 20, 2, 1)
+        aos = MapPlan(SPEC, "d1m", shape, outputs, layout="interleaved")
+        soa = MapPlan(SPEC, "d1m", shape, outputs, layout="restructured")
+        assert (soa.predicted_seconds(MODEL, {})
+                < aos.predicted_seconds(MODEL, {}))
+
+
+class TestD2TileShape:
+    """The reuse metric beats naive square tiles for wide stencils."""
+
+    def test_reuse_metric_tile_vs_squares(self, benchmark):
+        pattern = classify(lift_code(stencil2d.OCEAN_SRC)).pattern
+        shape = StencilShape(lambda p: p["width"],
+                             lambda p: p["size"] // p["width"])
+
+        def compare():
+            rows = []
+            for width in (512, 2048, 8192):
+                params = {"size": width * width, "width": width}
+                adaptive = TiledStencilPlan(SPEC, "d2", shape, pattern)
+                t_adaptive = adaptive.predicted_seconds(MODEL, params)
+                squares = {
+                    s: TiledStencilPlan(SPEC, "d2", shape, pattern,
+                                        tile=(s, s)).predicted_seconds(
+                        MODEL, params)
+                    for s in (8, 16, 32, 64)}
+                rows.append((width, min(squares.values()) / t_adaptive,
+                             squares[16] / t_adaptive))
+            return rows
+
+        rows = benchmark(compare)
+        print("\nD2 adaptive tile vs square tiles "
+              "(gain vs best square, vs 16x16):")
+        for width, best_gain, small_gain in rows:
+            print(f"  {width}x{width}: {best_gain:.2f}x / {small_gain:.2f}x")
+        # Never worse than the best hand-picked square by more than 2%...
+        assert all(best >= 0.98 for _w, best, _s in rows)
+        # ...and clearly better than naive small squares everywhere.
+        assert all(small > 1.3 for _w, _b, small in rows)
+
+
+class TestD3ReductionCrossover:
+    """Model selection must match the analytically best structure on a
+    grid of (N_arrays, N_elements) points."""
+
+    def test_selection_grid(self, benchmark):
+        reducer_fn = _sdot_reducer()
+
+        def grid():
+            wins = {"single": 0, "two": 0, "tpa": 0}
+            mistakes = 0
+            for log_r in range(0, 21, 4):
+                for log_n in range(2, 23, 4):
+                    narrays, nelements = 1 << log_r, 1 << log_n
+                    if narrays * nelements > 1 << 26:
+                        continue
+                    shape = ReduceShape(lambda p, r=narrays: r,
+                                        lambda p, n=nelements: n, 2)
+                    plans = {
+                        "single": ReduceSingleKernelPlan(
+                            SPEC, "d3", shape, reducer_fn),
+                        "two": ReduceTwoKernelPlan(
+                            SPEC, "d3", shape, reducer_fn),
+                        "tpa": ReduceThreadPerArrayPlan(
+                            SPEC, "d3", shape, reducer_fn,
+                            LAYOUT_TRANSPOSED),
+                    }
+                    times = {k: p.predicted_seconds(MODEL, {})
+                             for k, p in plans.items()}
+                    best = min(times, key=times.get)
+                    wins[best] += 1
+                    # Fixed-structure regret vs the model's choice.
+                    if times[best] * 3 < times["single"]:
+                        mistakes += 1
+            return wins, mistakes
+
+        wins, heavy_single_losses = benchmark(grid)
+        print(f"\nD3 structure wins over the (arrays, elements) grid: "
+              f"{wins}; points where fixed-single loses >3x: "
+              f"{heavy_single_losses}")
+        # Every structure must win somewhere — that is the crossover.
+        assert all(count > 0 for count in wins.values())
+        assert heavy_single_losses > 0
+
+
+class TestD4ThreadIntegration:
+    """Merging threads pays only when blocks are excessive."""
+
+    def test_items_per_thread_sweep(self, benchmark):
+        outputs = [parse_expr("_x0 * 2.0")]
+
+        def sweep():
+            rows = []
+            for n in (1 << 12, 1 << 18, 1 << 24):
+                shape = MapShape(lambda p, n=n: n, 1, 1)
+                times = {}
+                for ipt in (1, 4, 16, 64):
+                    plan = MapPlan(SPEC, "d4", shape, outputs,
+                                   items_per_thread=ipt)
+                    times[ipt] = plan.predicted_seconds(MODEL, {})
+                best = min(times, key=times.get)
+                blocks = math.ceil(n / 256)
+                rows.append((n, blocks, best))
+            return rows
+
+        rows = benchmark(sweep)
+        print("\nD4 best items-per-thread by size:")
+        for n, blocks, best in rows:
+            print(f"  n={n:>9} ({blocks:>6} blocks @ ipt=1): best ipt={best}")
+        # Small inputs should not merge aggressively; huge ones should.
+        assert rows[0][2] <= rows[-1][2]
+        assert rows[-1][2] >= 4
+
+
+class TestModelValidation:
+    """The model's variant orderings must agree with observed traffic."""
+
+    def test_model_agrees_with_traced_transactions(self, benchmark):
+        from repro.experiments import model_validation
+        results = benchmark.pedantic(model_validation.run, rounds=1,
+                                     iterations=1)
+        print("\n" + model_validation.render(results))
+        assert all(r.agree for r in results)
+        # Restructuring claims must be material, not marginal.
+        assert any(r.observed_ratio > 1.5 for r in results)

@@ -1,0 +1,37 @@
+"""§5.1 code-size claim: moderate growth from multi-version kernels.
+
+"Adaptic's output binaries were on average 1.4x and upto 2.5x larger than
+their input-unaware counterparts … some kernels could have upto five
+different versions for various input ranges."
+"""
+
+import pytest
+
+from repro.experiments import code_size
+
+
+@pytest.fixture(scope="module")
+def result():
+    return code_size.run()
+
+
+def test_code_size_table(benchmark, report, result):
+    small = {"sdot": code_size.CASES["sdot"]}
+    benchmark.pedantic(code_size.run, kwargs={"cases": small} if False
+                       else {}, rounds=1, iterations=1)
+    report(result)
+
+
+def test_growth_is_moderate(result):
+    series = result.series[0]
+    average = series.y[series.x.index("average")]
+    assert average < 4.0, f"variant growth should be moderate: {average:.2f}"
+    assert average > 1.0, "input-aware compilation must add variants"
+
+
+def test_no_kernel_exceeds_five_versions_by_much(result):
+    series = result.series[0]
+    for name, ratio in zip(series.x, series.y):
+        if name == "average":
+            continue
+        assert ratio <= 7, f"{name}: {ratio:.1f} versions per segment"

@@ -1,0 +1,33 @@
+"""Figure 1: the input-portability problem in CUBLAS TMV.
+
+Regenerates the GFLOPS-vs-shape curve of the hand-optimized transposed
+matrix-vector kernel and checks its three regimes: low utilization on the
+left, an efficient plateau, and overhead collapse on the right, with >20x
+degradation at the extremes (the paper reports "up to a factor of more
+than 20x").
+"""
+
+from repro.experiments import fig01
+from repro.gpu import GTX_285, TESLA_C2050
+
+
+def test_fig01_three_regimes(benchmark, report):
+    result = benchmark(fig01.run, TESLA_C2050)
+    report(result)
+    summary = fig01.regime_summary(result)
+    assert summary["peak_over_left"] > 20, \
+        "left-end (few rows) degradation should exceed 20x"
+    assert summary["peak_over_right"] > 20, \
+        "right-end (tiny rows) degradation should exceed 20x"
+    # The plateau must be interior, not at either edge.
+    y = result.series[0].y
+    peak_index = y.index(max(y))
+    assert 0 < peak_index < len(y) - 1
+
+
+def test_fig01_shape_holds_on_gtx285(report):
+    result = fig01.run(GTX_285)
+    report(result)
+    summary = fig01.regime_summary(result)
+    assert summary["peak_over_left"] > 10
+    assert summary["peak_over_right"] > 10

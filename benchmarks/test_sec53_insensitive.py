@@ -1,0 +1,35 @@
+"""§5.3: input-insensitive applications stay on par with hand-optimized.
+
+"On average the performance of Adaptic's output is within 5% of the
+original CUDA versions.  This shows that Adaptic does not cause slowdowns
+for applications that are not sensitive to input size."
+"""
+
+import pytest
+
+from repro.experiments import sec53
+
+
+@pytest.fixture(scope="module")
+def result():
+    return sec53.run()
+
+
+def test_sec53_table(benchmark, report, result):
+    small = {"vectoradd": sec53.CASES["vectoradd"]}
+    benchmark.pedantic(sec53.run, kwargs={"cases": small}, rounds=1,
+                       iterations=1)
+    report(result)
+
+
+def test_no_benchmark_slows_down(result):
+    series = result.series[0]
+    for name, ratio in zip(series.x, series.y):
+        assert ratio > 0.9, f"{name}: {ratio:.2f}x vs hand-optimized"
+
+
+def test_average_on_par(result):
+    series = result.series[0]
+    average = series.y[series.x.index("average")]
+    assert 0.9 < average < 1.3, \
+        f"average should be ~1.0 (paper: within 5%), got {average:.2f}"

@@ -1,0 +1,52 @@
+"""Heat diffusion on a 2-D plate via the neighboring-access optimization.
+
+Runs several diffusion steps through the compiled five-point stencil,
+showing the adaptive super-tile choice (§4.1.2): small grids get small
+tiles (more blocks), large grids get large tiles (less halo overhead).
+"""
+
+import numpy as np
+
+from repro import TESLA_C2050, compile_program
+from repro.apps import stencil2d
+from repro.compiler.plans.stencilplan import TiledStencilPlan
+
+
+def main():
+    spec = TESLA_C2050
+    compiled = compile_program(stencil2d.build(), spec)
+
+    # Adaptive tile sizes across grid scales (model-level, instant).
+    tiled = next(p for seg in compiled.segments for p in seg.plans
+                 if isinstance(p, TiledStencilPlan))
+    print("adaptive super-tile choice:")
+    for width in (128, 512, 2048, 8192):
+        params = {"size": width * width, "width": width}
+        tile = tiled.choose_tile(params)
+        hx, hy = tiled.halo(params)
+        print(f"  {width:>5}x{width:<5} -> tile {tile[0]}x{tile[1]} "
+              f"(halo {hx},{hy}), {tiled._grid(params)} blocks")
+
+    # Functional diffusion on a small plate: hot spot spreads out.
+    width = height = 24
+    grid = np.zeros(width * height)
+    grid[(height // 2) * width + width // 2] = 100.0
+    params = {"size": width * height, "width": width}
+
+    for step in range(5):
+        result = compiled.run(grid, params)
+        grid = result.output
+    plate = grid.reshape(height, width)
+    hot_y, hot_x = np.unravel_index(plate.argmax(), plate.shape)
+    print(f"\nafter 5 diffusion steps ({result.selections[0].strategy}):")
+    print(f"  peak temperature {plate.max():.3f} at ({hot_y}, {hot_x})")
+    print(f"  heat conserved within borders: total {plate.sum():.3f}")
+    ring = plate[height // 2 - 2:height // 2 + 3,
+                 width // 2 - 2:width // 2 + 3]
+    print("  5x5 neighborhood around the source:")
+    for row in ring:
+        print("   ", " ".join(f"{v:6.2f}" for v in row))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""StreamIt implementations of the paper's benchmark suite (§5).
+
+Each module exposes ``build_*`` functions returning a
+:class:`~repro.streamit.StreamProgram` plus a numpy reference
+implementation and a FLOP counter for GFLOPS reporting.
+"""
+
+from . import (bicgstab, blas1, convolution, insensitive, montecarlo,
+               scalar_product, stencil2d, svm, tmv)
+
+__all__ = ["blas1", "tmv", "scalar_product", "montecarlo", "stencil2d",
+           "convolution", "bicgstab", "svm", "insensitive"]

@@ -1,0 +1,247 @@
+"""Biconjugate gradient stabilized method (Figure 11, §5.2.2).
+
+One BiCGSTAB iteration has ~11 linear steps.  "The problem of using the
+CUBLAS library is that the programmer should split each step into several
+sub-steps … Adaptic merges all these sub-steps together and launches a
+single kernel for one step."
+
+Each step is expressed as a StreamIt program.  Vector-update steps are
+deliberately written as *chains of fine-grained actors* (the natural way to
+compose a streaming library); Adaptic's vertical integration fuses each
+chain into one kernel, while the CUBLAS comparator pays one kernel and one
+round trip through global memory per sub-step.
+
+:func:`solve` actually runs the full iterative solver on compiled steps —
+used by the example and the integration tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..streamit import (Duplicate, Filter, Pipeline, SplitJoin,
+                        StreamProgram, roundrobin)
+
+GEMV_SRC = """
+def gemv_row(n):
+    acc = 0.0
+    for i in range(n):
+        acc = acc + pop() * vec[i]
+    push(acc)
+"""
+
+DOT_SRC = """
+def dot2(n):
+    acc = 0.0
+    for i in range(n):
+        acc = acc + pop() * pop()
+    push(acc)
+"""
+
+DOT_FIRST_SQ_SRC = """
+def dot_self(n):
+    acc = 0.0
+    for i in range(n):
+        x = pop()
+        _drop = pop()
+        acc = acc + x * x
+    push(acc)
+"""
+
+#: (x, v) pairs -> (x, alpha*v): the scaling sub-step of an axpy.
+SCALE_SECOND_SRC = """
+def scale_second(n, alpha):
+    for i in range(n):
+        x = pop()
+        v = pop()
+        push(x)
+        push(alpha * v)
+"""
+
+#: (x, t) pairs -> x - t: the subtraction sub-step.
+SUB_SRC = """
+def sub2(n):
+    for i in range(n):
+        x = pop()
+        t = pop()
+        push(x - t)
+"""
+
+#: (x, p, s) triples -> (x, alpha*p + omega*s).
+COMBINE_TWO_SRC = """
+def combine_two(n, alpha, omega):
+    for i in range(n):
+        x = pop()
+        p = pop()
+        s = pop()
+        push(x)
+        push(alpha * p + omega * s)
+"""
+
+ADD_SRC = """
+def add2(n):
+    for i in range(n):
+        push(pop() + pop())
+"""
+
+
+@dataclasses.dataclass
+class StepSpec:
+    """One BiCGSTAB linear step and its CUBLAS decomposition."""
+
+    name: str
+    program: StreamProgram
+    #: CUBLAS sub-steps this maps to: list of (routine, vectors_touched)
+    #: used by the comparator in :mod:`repro.baselines.cublas_apps`.
+    cublas_calls: List[str]
+
+
+def _program(name, top, extra_params=(), input_size="2*n"):
+    return StreamProgram(top, params=["n", *extra_params],
+                         input_size=input_size, name=name)
+
+
+def step_specs() -> List[StepSpec]:
+    """The per-iteration steps (representative of the 11-step method)."""
+    steps = [
+        StepSpec(
+            "gemv_v",
+            StreamProgram(Filter(GEMV_SRC, pop="n", push=1,
+                                 consts=("vec",), name="gemv_row"),
+                          params=["n", "rows"], input_size="rows*n",
+                          name="gemv_v"),
+            ["sgemv"]),
+        StepSpec(
+            "rho_dot",
+            _program("rho_dot", Filter(DOT_SRC, pop="2*n", push=1)),
+            ["sdot"]),
+        StepSpec(
+            "s_update",
+            _program("s_update",
+                     Pipeline(Filter(SCALE_SECOND_SRC, pop="2*n",
+                                     push="2*n", name="scale_v"),
+                              Filter(SUB_SRC, pop="2*n", push="n",
+                                     name="sub")),
+                     extra_params=("alpha",)),
+            ["sscal", "saxpy"]),
+        StepSpec(
+            "gemv_t",
+            StreamProgram(Filter(GEMV_SRC, pop="n", push=1,
+                                 consts=("vec",), name="gemv_row"),
+                          params=["n", "rows"], input_size="rows*n",
+                          name="gemv_t"),
+            ["sgemv"]),
+        StepSpec(
+            "omega_dots",
+            _program("omega_dots",
+                     SplitJoin(Duplicate(),
+                               [Filter(DOT_SRC, pop="2*n", push=1,
+                                       name="dot_ts"),
+                                Filter(DOT_FIRST_SQ_SRC, pop="2*n", push=1,
+                                       name="dot_tt")],
+                               roundrobin(1))),
+            ["sdot", "sdot"]),
+        StepSpec(
+            "x_update",
+            _program("x_update",
+                     Pipeline(Filter(COMBINE_TWO_SRC, pop="3*n",
+                                     push="2*n", name="combine"),
+                              Filter(ADD_SRC, pop="2*n", push="n",
+                                     name="add")),
+                     extra_params=("alpha", "omega"), input_size="3*n"),
+            ["saxpy", "saxpy"]),
+        StepSpec(
+            "r_update",
+            _program("r_update",
+                     Pipeline(Filter(SCALE_SECOND_SRC, pop="2*n",
+                                     push="2*n", name="scale_t"),
+                              Filter(SUB_SRC, pop="2*n", push="n",
+                                     name="sub")),
+                     extra_params=("alpha",)),
+            ["sscal", "saxpy"]),
+        StepSpec(
+            "beta_dot",
+            _program("beta_dot", Filter(DOT_SRC, pop="2*n", push=1)),
+            ["sdot"]),
+        StepSpec(
+            "p_update",
+            _program("p_update",
+                     Pipeline(Filter(COMBINE_TWO_SRC, pop="3*n",
+                                     push="2*n", name="combine"),
+                              Filter(ADD_SRC, pop="2*n", push="n",
+                                     name="add")),
+                     extra_params=("alpha", "omega"), input_size="3*n"),
+            ["sscal", "saxpy", "saxpy"]),
+    ]
+    return steps
+
+
+def interleave(*vectors: np.ndarray) -> np.ndarray:
+    """Round-robin-join host vectors into one stream."""
+    return np.column_stack(vectors).reshape(-1)
+
+
+def make_system(n: int, rng=None):
+    """A well-conditioned nonsymmetric system Ax = b."""
+    rng = rng or np.random.default_rng(0)
+    a = rng.standard_normal((n, n)) / np.sqrt(n)
+    a += np.eye(n) * 4.0
+    x_true = rng.standard_normal(n)
+    b = a @ x_true
+    return a, b, x_true
+
+
+def solve(a: np.ndarray, b: np.ndarray, compiled: Dict[str, object],
+          max_iterations: int = 50, tol: float = 1e-8) -> np.ndarray:
+    """Run BiCGSTAB using compiled step programs for every linear step."""
+    n = len(b)
+    flat_a = np.ascontiguousarray(a, dtype=np.float64).reshape(-1)
+
+    def gemv(step, vec):
+        result = compiled[step].run(flat_a, {"n": n, "rows": n, "vec": vec})
+        return result.output
+
+    def dot(step, x, y, **extra):
+        params = {"n": n}
+        params.update(extra)
+        return compiled[step].run(interleave(x, y), params).output
+
+    x = np.zeros(n)
+    r = b.copy()
+    r0 = r.copy()
+    rho = alpha = omega = 1.0
+    v = np.zeros(n)
+    p = np.zeros(n)
+    for _ in range(max_iterations):
+        rho_new = dot("rho_dot", r0, r)[0]
+        beta = (rho_new / rho) * (alpha / omega) if rho else 0.0
+        rho = rho_new
+        p = compiled["p_update"].run(
+            interleave(r, p, v), {"n": n, "alpha": beta,
+                                  "omega": -beta * omega}).output
+        v = gemv("gemv_v", p)
+        alpha = rho / dot("rho_dot", r0, v)[0]
+        s = compiled["s_update"].run(
+            interleave(r, v), {"n": n, "alpha": alpha}).output
+        if np.linalg.norm(s) < tol:
+            x = x + alpha * p
+            break
+        t = gemv("gemv_t", s)
+        dots = compiled["omega_dots"].run(interleave(t, s), {"n": n}).output
+        omega = dots[0] / dots[1]
+        x = compiled["x_update"].run(
+            interleave(x, p, s), {"n": n, "alpha": alpha,
+                                  "omega": omega}).output
+        r = compiled["r_update"].run(
+            interleave(s, t), {"n": n, "alpha": omega}).output
+        if np.linalg.norm(r) < tol:
+            break
+    return x
+
+
+def flops(n: int) -> float:
+    """Useful FLOPs of one iteration (dominated by the two gemvs)."""
+    return 2 * (2.0 * n * n) + 10 * 2.0 * n

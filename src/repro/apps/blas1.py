@@ -1,0 +1,174 @@
+"""BLAS level-1 benchmarks (CUBLAS suite of §5.1).
+
+Streams carry the vectors interleaved — ``sdot``'s input is
+``x0, y0, x1, y1, …`` — matching a StreamIt round-robin joiner feeding the
+actor.  Every program is parameterized by the vector length ``n`` and (for
+the input-portability sweep) the batch count ``r`` of back-to-back
+invocations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..streamit import Filter, StreamProgram
+
+SDOT_SRC = """
+def sdot(n):
+    acc = 0.0
+    for i in range(n):
+        acc = acc + pop() * pop()
+    push(acc)
+"""
+
+SASUM_SRC = """
+def sasum(n):
+    acc = 0.0
+    for i in range(n):
+        acc = acc + abs(pop())
+    push(acc)
+"""
+
+SNRM2_SRC = """
+def snrm2(n):
+    acc = 0.0
+    for i in range(n):
+        x = pop()
+        acc = acc + x * x
+    push(sqrt(acc))
+"""
+
+ISAMAX_SRC = """
+def isamax(n):
+    best = -1.0
+    besti = 0
+    for i in range(n):
+        x = abs(pop())
+        if x > best:
+            best = x
+            besti = i
+    push(besti)
+"""
+
+SSCAL_SRC = """
+def sscal(n, alpha):
+    for i in range(n):
+        push(alpha * pop())
+"""
+
+SAXPY_SRC = """
+def saxpy(n, alpha):
+    for i in range(n):
+        x = pop()
+        y = pop()
+        push(alpha * x + y)
+"""
+
+SCOPY_SRC = """
+def scopy(n):
+    for i in range(n):
+        push(pop())
+"""
+
+SSWAP_SRC = """
+def sswap(n):
+    for i in range(n):
+        x = pop()
+        y = pop()
+        push(y)
+        push(x)
+"""
+
+SROT_SRC = """
+def srot(n, c, s):
+    for i in range(n):
+        x = pop()
+        y = pop()
+        push(c * x + s * y)
+        push(c * y - s * x)
+"""
+
+#: name -> (source, pop rate, push rate, extra scalar params)
+_SPECS = {
+    "sdot": (SDOT_SRC, "2*n", 1, ()),
+    "sasum": (SASUM_SRC, "n", 1, ()),
+    "snrm2": (SNRM2_SRC, "n", 1, ()),
+    "isamax": (ISAMAX_SRC, "n", 1, ()),
+    "sscal": (SSCAL_SRC, "n", "n", ("alpha",)),
+    "saxpy": (SAXPY_SRC, "2*n", "n", ("alpha",)),
+    "scopy": (SCOPY_SRC, "n", "n", ()),
+    "sswap": (SSWAP_SRC, "2*n", "2*n", ()),
+    "srot": (SROT_SRC, "2*n", "2*n", ("c", "s")),
+}
+
+#: Useful FLOP counts per call (for GFLOPS reporting).
+FLOPS = {
+    "sdot": lambda p: 2 * p["n"],
+    "sasum": lambda p: p["n"],
+    "snrm2": lambda p: 2 * p["n"],
+    "isamax": lambda p: 2 * p["n"],
+    "sscal": lambda p: p["n"],
+    "saxpy": lambda p: 2 * p["n"],
+    "scopy": lambda p: p["n"],
+    "sswap": lambda p: p["n"],
+    "srot": lambda p: 6 * p["n"],
+}
+
+NAMES = tuple(_SPECS)
+
+
+def build(name: str, input_ranges=None) -> StreamProgram:
+    """Build the StreamIt program for one BLAS-1 routine."""
+    source, pop, push, extra = _SPECS[name]
+    pop_expr = pop if isinstance(pop, str) else str(pop)
+    return StreamProgram(
+        Filter(source, pop=pop, push=push, name=name),
+        params=["n", "r", *extra],
+        input_size=f"({pop_expr})*r",
+        input_ranges=input_ranges or {"n": (1024, 4 << 20)},
+        name=name)
+
+
+def make_input(name: str, n: int, r: int = 1,
+               rng: np.random.Generator = None) -> np.ndarray:
+    rng = rng or np.random.default_rng(0)
+    _source, pop, _push, _extra = _SPECS[name]
+    per = eval(pop, {"n": n}) if isinstance(pop, str) else pop  # noqa: S307
+    return rng.standard_normal(per * r)
+
+
+def reference(name: str, data: np.ndarray, params: dict) -> np.ndarray:
+    """Numpy reference for one batch element stream."""
+    n = params["n"]
+    out = []
+    data = np.asarray(data, dtype=np.float64)
+    _source, pop, _push, _extra = _SPECS[name]
+    per = eval(pop, {"n": n}) if isinstance(pop, str) else pop  # noqa: S307
+    for chunk in data.reshape(-1, per):
+        if name == "sdot":
+            x, y = chunk[0::2], chunk[1::2]
+            out.append([x @ y])
+        elif name == "sasum":
+            out.append([np.abs(chunk).sum()])
+        elif name == "snrm2":
+            out.append([np.linalg.norm(chunk)])
+        elif name == "isamax":
+            out.append([np.abs(chunk).argmax()])
+        elif name == "sscal":
+            out.append(params["alpha"] * chunk)
+        elif name == "saxpy":
+            x, y = chunk[0::2], chunk[1::2]
+            out.append(params["alpha"] * x + y)
+        elif name == "scopy":
+            out.append(chunk)
+        elif name == "sswap":
+            x, y = chunk[0::2], chunk[1::2]
+            out.append(np.column_stack([y, x]).reshape(-1))
+        elif name == "srot":
+            x, y = chunk[0::2], chunk[1::2]
+            c, s = params["c"], params["s"]
+            out.append(np.column_stack([c * x + s * y,
+                                        c * y - s * x]).reshape(-1))
+        else:
+            raise KeyError(name)
+    return np.concatenate([np.atleast_1d(np.asarray(o)) for o in out])

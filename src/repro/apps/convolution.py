@@ -1,0 +1,104 @@
+"""SDK convolutionSeparable: row pass then column pass (§5.1).
+
+"Convolution Separable has two actors, and processes data row-wise in one
+and column-wise in the other.  Memory optimizations are effective … as the
+input becomes smaller, Adaptic reduces the super tile sizes adaptively to
+retain the high number of blocks."
+
+The work-function sources are generated for a given radius so the stencil
+offsets stay explicit in the IR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..streamit import Filter, Pipeline, StreamProgram
+
+DEFAULT_RADIUS = 4
+
+
+def _taps(radius: int):
+    """Truncated-Gaussian filter taps, normalized."""
+    xs = np.arange(-radius, radius + 1)
+    taps = np.exp(-(xs / max(radius, 1)) ** 2)
+    return taps / taps.sum()
+
+
+def row_source(radius: int) -> str:
+    taps = _taps(radius)
+    terms = " + ".join(
+        f"{float(taps[j + radius])!r} * peek(index + {j})".replace("+ -", "- ")
+        for j in range(-radius, radius + 1))
+    return f"""
+def conv_row(size, width):
+    for index in range(size):
+        if (index % width >= {radius}) and (index % width < width - {radius}):
+            push({terms})
+        else:
+            push(peek(index))
+    for j in range(size):
+        _ = pop()
+"""
+
+
+def col_source(radius: int) -> str:
+    taps = _taps(radius)
+    terms = " + ".join(
+        f"{float(taps[j + radius])!r} * peek(index + {j} * width)"
+        for j in range(-radius, radius + 1))
+    return f"""
+def conv_col(size, width):
+    for index in range(size):
+        if (index >= {radius} * width) and (index < size - {radius} * width):
+            push({terms})
+        else:
+            push(peek(index))
+    for j in range(size):
+        _ = pop()
+"""
+
+
+def build(radius: int = DEFAULT_RADIUS, input_ranges=None) -> StreamProgram:
+    row = Filter(row_source(radius), pop="size", push="size", peek="size",
+                 name="conv_row")
+    col = Filter(col_source(radius), pop="size", push="size", peek="size",
+                 name="conv_col")
+    return StreamProgram(
+        Pipeline(row, col),
+        params=["size", "width"],
+        input_size="size",
+        input_ranges=input_ranges or {"size": (128 * 128, 4096 * 4096)},
+        name="convolution_separable")
+
+
+def make_input(width: int, height: int, rng=None):
+    rng = rng or np.random.default_rng(0)
+    return rng.standard_normal(width * height), \
+        {"size": width * height, "width": width}
+
+
+def reference(data: np.ndarray, width: int,
+              radius: int = DEFAULT_RADIUS) -> np.ndarray:
+    size = data.size
+    height = size // width
+    taps = _taps(radius)
+    grid = np.asarray(data, dtype=np.float64).reshape(height, width)
+
+    rowed = grid.copy()
+    for x in range(radius, width - radius):
+        window = grid[:, x - radius:x + radius + 1]
+        rowed[:, x] = window @ taps
+    flat = rowed.reshape(-1)
+
+    out = flat.copy()
+    for index in range(radius * width, size - radius * width):
+        acc = 0.0
+        for j in range(-radius, radius + 1):
+            acc += taps[j + radius] * flat[index + j * width]
+        out[index] = acc
+    return out
+
+
+def flops(params, radius: int = DEFAULT_RADIUS) -> float:
+    return 2.0 * (2 * radius + 1) * params["size"] * 2

@@ -1,0 +1,223 @@
+"""Input-insensitive benchmark suite (§5.3).
+
+BlackScholes, VectorAdd, DCT 8x8, QuasiRandomGenerator, and Histogram
+(the BLAS-1 maps — Saxpy, Scopy, Sscal, Sswap, Srot — live in
+:mod:`repro.apps.blas1`).  The paper reports Adaptic within ~5% of the
+hand-optimized versions on these: they are elementwise or fixed-shape
+workloads whose best mapping does not move with the input.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..streamit import Filter, Pipeline, StreamProgram
+
+# ---------------------------------------------------------------------------
+# BlackScholes: option pricing with the Abramowitz–Stegun CND polynomial.
+# ---------------------------------------------------------------------------
+
+def _cnd_source(d: str) -> str:
+    """Cumulative normal distribution of expression ``d`` (A&S 26.2.17)."""
+    return (
+        f"(1.0 - (0.3989422804014327 * exp(0.0 - abs({d}) * abs({d}) / 2.0))"
+        f" * ((((1.330274429 * (1.0 / (1.0 + 0.2316419 * abs({d})))"
+        f" - 1.821255978) * (1.0 / (1.0 + 0.2316419 * abs({d})))"
+        f" + 1.781477937) * (1.0 / (1.0 + 0.2316419 * abs({d})))"
+        f" - 0.356563782) * (1.0 / (1.0 + 0.2316419 * abs({d})))"
+        f" + 0.319381530) * (1.0 / (1.0 + 0.2316419 * abs({d}))))"
+    )
+
+
+BLACKSCHOLES_SRC = f"""
+def blackscholes(n, rate, vol):
+    for i in range(n):
+        s = pop()
+        x = pop()
+        t = pop()
+        d1 = (log(s / x) + (rate + 0.5 * vol * vol) * t) / (vol * sqrt(t))
+        d2 = d1 - vol * sqrt(t)
+        cnd1 = {_cnd_source('d1')} if d1 >= 0.0 else 1.0 - {_cnd_source('d1')}
+        cnd2 = {_cnd_source('d2')} if d2 >= 0.0 else 1.0 - {_cnd_source('d2')}
+        call = s * cnd1 - x * exp(0.0 - rate * t) * cnd2
+        push(call)
+        push(x * exp(0.0 - rate * t) * (1.0 - cnd2) - s * (1.0 - cnd1))
+"""
+
+
+def build_blackscholes() -> StreamProgram:
+    return StreamProgram(
+        Filter(BLACKSCHOLES_SRC, pop="3*n", push="2*n",
+               name="blackscholes"),
+        params=["n", "rate", "vol"], input_size="3*n",
+        input_ranges={"n": (1024, 4 << 20)}, name="blackscholes")
+
+
+def blackscholes_input(n: int, rng=None):
+    rng = rng or np.random.default_rng(0)
+    s = rng.uniform(5.0, 30.0, n)
+    x = rng.uniform(1.0, 100.0, n)
+    t = rng.uniform(0.25, 10.0, n)
+    return np.column_stack([s, x, t]).reshape(-1), \
+        {"n": n, "rate": 0.02, "vol": 0.30}
+
+
+def blackscholes_reference(data: np.ndarray, params: dict) -> np.ndarray:
+    triples = np.asarray(data, dtype=np.float64).reshape(-1, 3)
+    s, x, t = triples[:, 0], triples[:, 1], triples[:, 2]
+    rate, vol = params["rate"], params["vol"]
+
+    def cnd(d):
+        k = 1.0 / (1.0 + 0.2316419 * np.abs(d))
+        poly = k * (0.319381530 + k * (-0.356563782 + k * (1.781477937
+                    + k * (-1.821255978 + k * 1.330274429))))
+        base = 1.0 - 0.3989422804014327 * np.exp(-d * d / 2.0) * poly
+        return np.where(d >= 0, base, 1.0 - base)
+
+    d1 = (np.log(s / x) + (rate + 0.5 * vol * vol) * t) / (vol * np.sqrt(t))
+    d2 = d1 - vol * np.sqrt(t)
+    call = s * cnd(d1) - x * np.exp(-rate * t) * cnd(d2)
+    put = x * np.exp(-rate * t) * (1 - cnd(d2)) - s * (1 - cnd(d1))
+    return np.column_stack([call, put]).reshape(-1)
+
+
+# ---------------------------------------------------------------------------
+# VectorAdd
+# ---------------------------------------------------------------------------
+
+VECTORADD_SRC = """
+def vectoradd(n):
+    for i in range(n):
+        push(pop() + pop())
+"""
+
+
+def build_vectoradd() -> StreamProgram:
+    return StreamProgram(
+        Filter(VECTORADD_SRC, pop="2*n", push="n", name="vectoradd"),
+        params=["n"], input_size="2*n",
+        input_ranges={"n": (1024, 16 << 20)}, name="vectoradd")
+
+
+# ---------------------------------------------------------------------------
+# DCT 8x8: one thread per block of 64 pixels (a generic fixed-rate actor).
+# ---------------------------------------------------------------------------
+
+DCT8X8_SRC = """
+def dct8x8(k):
+    for u in range(8):
+        for v in range(8):
+            acc = 0.0
+            for x in range(8):
+                for y in range(8):
+                    acc = acc + peek(x * 8 + y) \
+                        * cos((2 * x + 1) * u * 0.19634954084936207) \
+                        * cos((2 * y + 1) * v * 0.19634954084936207)
+            cu = 0.3535533905932738 if u == 0 else 0.5
+            cv = 0.3535533905932738 if v == 0 else 0.5
+            push(cu * cv * acc)
+    for j in range(64):
+        _ = pop()
+"""
+
+
+def build_dct8x8() -> StreamProgram:
+    return StreamProgram(
+        Filter(DCT8X8_SRC, pop=64, push=64, peek=64, name="dct8x8"),
+        params=["k", "blocks"], input_size="64*blocks",
+        input_ranges={"blocks": (16, 1 << 16)}, name="dct8x8")
+
+
+def dct8x8_reference(data: np.ndarray) -> np.ndarray:
+    blocks = np.asarray(data, dtype=np.float64).reshape(-1, 8, 8)
+    xs = np.arange(8)
+    basis = np.cos((2 * xs[:, None] + 1) * xs[None, :] * math.pi / 16)
+    scale = np.full(8, 0.5)
+    scale[0] = 1 / math.sqrt(8)
+    out = np.einsum("bxy,xu,yv->buv", blocks, basis, basis)
+    out *= scale[None, :, None] * scale[None, None, :]
+    return out.reshape(-1)
+
+
+# ---------------------------------------------------------------------------
+# QuasiRandomGenerator: Weyl / Kronecker low-discrepancy sequence.
+# ---------------------------------------------------------------------------
+
+QUASIRANDOM_SRC = """
+def quasirandom(n, alpha):
+    for i in range(n):
+        push((pop() + i * alpha) % 1.0)
+"""
+
+
+def build_quasirandom() -> StreamProgram:
+    return StreamProgram(
+        Filter(QUASIRANDOM_SRC, pop="n", push="n", name="quasirandom"),
+        params=["n", "alpha"], input_size="n",
+        input_ranges={"n": (1024, 16 << 20)}, name="quasirandom")
+
+
+# ---------------------------------------------------------------------------
+# Histogram: per-chunk local histograms, transpose, per-bin accumulation.
+# ---------------------------------------------------------------------------
+
+BINS = 64
+CHUNK = 256
+
+
+def _local_hist_source() -> str:
+    body = [f"def local_hist(k):"]
+    for b in range(BINS):
+        body.append(f"    b{b} = 0.0")
+    body.append(f"    for i in range({CHUNK}):")
+    body.append("        v = pop()")
+    body.append(f"        slot = int(v * {BINS})")
+    for b in range(BINS):
+        body.append(f"        if slot == {b}:")
+        body.append(f"            b{b} = b{b} + 1.0")
+    for b in range(BINS):
+        body.append(f"    push(b{b})")
+    return "\n".join(body) + "\n"
+
+
+TRANSPOSE_SRC = f"""
+def bin_transpose(chunks):
+    for i in range({BINS} * chunks):
+        push(peek((i % chunks) * {BINS} + i // chunks))
+    for j in range({BINS} * chunks):
+        _ = pop()
+"""
+
+BIN_SUM_SRC = """
+def bin_sum(chunks):
+    acc = 0.0
+    for i in range(chunks):
+        acc = acc + pop()
+    push(acc)
+"""
+
+
+def build_histogram() -> StreamProgram:
+    return StreamProgram(
+        Pipeline(
+            Filter(_local_hist_source(), pop=CHUNK, push=BINS,
+                   name="local_hist"),
+            Filter(TRANSPOSE_SRC, pop=f"{BINS}*chunks",
+                   push=f"{BINS}*chunks", peek=f"{BINS}*chunks",
+                   name="bin_transpose"),
+            Filter(BIN_SUM_SRC, pop="chunks", push=1, name="bin_sum")),
+        params=["k", "chunks"], input_size=f"{CHUNK}*chunks",
+        input_ranges={"chunks": (16, 1 << 16)}, name="histogram")
+
+
+def histogram_input(chunks: int, rng=None):
+    rng = rng or np.random.default_rng(0)
+    return rng.uniform(0.0, 0.999, CHUNK * chunks), \
+        {"k": 0, "chunks": chunks}
+
+
+def histogram_reference(data: np.ndarray) -> np.ndarray:
+    slots = (np.asarray(data) * BINS).astype(int)
+    return np.bincount(slots, minlength=BINS).astype(float)

@@ -1,0 +1,70 @@
+"""SDK MonteCarlo: European option pricing by path simulation (§5.1).
+
+Each option's price is the discounted mean payoff over ``paths`` simulated
+endpoints — a reduction with a heavy, compute-bound element function.  The
+SDK implementation "has originally been developed in an input portable
+way" (two kernels for different input ranges), so Adaptic matches rather
+than beats it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..streamit import Filter, StreamProgram
+
+#: Payoff element: pop a standard-normal draw, simulate the terminal price
+#: S = S0·exp((r − σ²/2)T + σ√T·z), accumulate call payoff max(S − K, 0);
+#: epilogue discounts the mean.
+MC_SRC = """
+def mc_option(paths, s0, strike, rate, vol, horizon):
+    acc = 0.0
+    for i in range(paths):
+        z = pop()
+        acc = acc + max(s0 * exp((rate - 0.5 * vol * vol) * horizon
+                                 + vol * sqrt(horizon) * z) - strike, 0.0)
+    push(exp(0.0 - rate * horizon) * acc / paths)
+"""
+
+DEFAULTS = {"s0": 100.0, "strike": 100.0, "rate": 0.05, "vol": 0.2,
+            "horizon": 1.0}
+
+
+def build(input_ranges=None) -> StreamProgram:
+    return StreamProgram(
+        Filter(MC_SRC, pop="paths", push=1, name="mc_option"),
+        params=["paths", "options", "s0", "strike", "rate", "vol",
+                "horizon"],
+        input_size="paths*options",
+        input_ranges=input_ranges or {"options": (2, 4096),
+                                      "paths": (1024, 1 << 20)},
+        name="montecarlo")
+
+
+def make_params(paths: int, options: int) -> dict:
+    params = dict(DEFAULTS)
+    params.update({"paths": paths, "options": options})
+    return params
+
+
+def make_input(paths: int, options: int, rng=None) -> np.ndarray:
+    rng = rng or np.random.default_rng(0)
+    return rng.standard_normal(paths * options)
+
+
+def reference(data: np.ndarray, params: dict) -> np.ndarray:
+    paths, options = params["paths"], params["options"]
+    z = np.asarray(data, dtype=np.float64).reshape(options, paths)
+    s = params["s0"] * np.exp(
+        (params["rate"] - 0.5 * params["vol"] ** 2) * params["horizon"]
+        + params["vol"] * math.sqrt(params["horizon"]) * z)
+    payoff = np.maximum(s - params["strike"], 0.0)
+    return (math.exp(-params["rate"] * params["horizon"])
+            * payoff.mean(axis=1))
+
+
+def flops(params) -> float:
+    # ~8 flops per simulated path (exp counted as one).
+    return 8.0 * params["paths"] * params["options"]

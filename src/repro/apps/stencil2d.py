@@ -1,0 +1,60 @@
+"""2-D neighboring-access benchmark (the OceanFFT surface pass, §5.1).
+
+OceanFFT's post-FFT stage computes each grid point's displacement from its
+neighbors — the paper's canonical neighboring-access actor (Figure 4).
+Adaptic stages super tiles in shared memory with input-adaptive tile sizes;
+the hand-optimized SDK kernel uses one fixed tile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..streamit import Filter, StreamProgram
+
+#: Five-point update with row-wrap-safe guards: interior cells combine the
+#: four neighbors and the center; border cells pass through.
+OCEAN_SRC = """
+def ocean_point(size, width):
+    for index in range(size):
+        if (index % width >= 1) and (index % width < width - 1) \
+                and (index >= width) and (index < size - width):
+            push(0.5 * peek(index)
+                 + 0.125 * (peek(index - width) + peek(index + width)
+                            + peek(index - 1) + peek(index + 1)))
+        else:
+            push(peek(index))
+    for j in range(size):
+        _ = pop()
+"""
+
+
+def build(input_ranges=None) -> StreamProgram:
+    return StreamProgram(
+        Filter(OCEAN_SRC, pop="size", push="size", peek="size",
+               name="ocean_point"),
+        params=["size", "width"],
+        input_size="size",
+        input_ranges=input_ranges or {"size": (64 * 64, 4096 * 4096)},
+        name="oceanfft_surface")
+
+
+def make_input(width: int, height: int, rng=None):
+    rng = rng or np.random.default_rng(0)
+    data = rng.standard_normal(width * height)
+    return data, {"size": width * height, "width": width}
+
+
+def reference(data: np.ndarray, width: int) -> np.ndarray:
+    size = data.size
+    height = size // width
+    grid = np.asarray(data, dtype=np.float64).reshape(height, width)
+    out = grid.copy()
+    out[1:-1, 1:-1] = (0.5 * grid[1:-1, 1:-1]
+                       + 0.125 * (grid[:-2, 1:-1] + grid[2:, 1:-1]
+                                  + grid[1:-1, :-2] + grid[1:-1, 2:]))
+    return out.reshape(-1)
+
+
+def flops(params) -> float:
+    return 6.0 * params["size"]

@@ -1,0 +1,60 @@
+"""Transposed matrix-vector multiplication (Figures 1 and 10, §5.2.1).
+
+``y = A·x`` where each output element is the dot product of one matrix row
+with the vector.  The actor pops one row per invocation and indexes the
+vector as init-time state (``consts``), which is how a StreamIt programmer
+writes it once; Adaptic then generates the five input-range-specialized
+kernels described in §5.2.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..streamit import Filter, StreamProgram
+
+GEMV_ROW_SRC = """
+def tmv_row(cols):
+    acc = 0.0
+    for i in range(cols):
+        acc = acc + pop() * vec[i]
+    push(acc)
+"""
+
+
+def build(input_ranges=None) -> StreamProgram:
+    return StreamProgram(
+        Filter(GEMV_ROW_SRC, pop="cols", push=1, consts=("vec",),
+               name="tmv_row"),
+        params=["rows", "cols"],
+        input_size="rows*cols",
+        input_ranges=input_ranges or {"rows": (4, 1 << 20),
+                                      "cols": (4, 1 << 20)},
+        name="tmv")
+
+
+def make_input(rows: int, cols: int, rng=None):
+    """Returns (matrix_stream, vector, params)."""
+    rng = rng or np.random.default_rng(0)
+    matrix = rng.standard_normal(rows * cols)
+    vec = rng.standard_normal(cols)
+    return matrix, vec, {"rows": rows, "cols": cols, "vec": vec}
+
+
+def reference(matrix: np.ndarray, vec: np.ndarray, rows: int,
+              cols: int) -> np.ndarray:
+    return matrix.reshape(rows, cols) @ vec
+
+
+def flops(params) -> float:
+    return 2.0 * params["rows"] * params["cols"]
+
+
+def shape_sweep(total_elements: int, min_dim: int = 4):
+    """All power-of-two (rows, cols) factorizations of ``total_elements``."""
+    shapes = []
+    rows = min_dim
+    while rows <= total_elements // min_dim:
+        shapes.append((rows, total_elements // rows))
+        rows *= 2
+    return shapes

@@ -1,0 +1,6 @@
+"""Hand-optimized baselines: CUBLAS 3.2, the CUDA SDK, and GPUSVM."""
+
+from . import cublas, gpusvm, sdk
+from .base import HandOptimized
+
+__all__ = ["HandOptimized", "cublas", "sdk", "gpusvm"]

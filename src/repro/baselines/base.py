@@ -1,0 +1,77 @@
+"""Hand-optimized baseline infrastructure.
+
+The paper's head-to-head comparisons run Adaptic output against
+hand-optimized CUDA (CUBLAS 3.2, the CUDA SDK, GPUSVM).  A
+:class:`HandOptimized` baseline is a *fixed* kernel chain: the strategy and
+launch geometry its authors tuned for the library's comfort zone, applied
+to every input.  That fixedness is the whole point — outside the comfort
+zone the same configuration is what degrades (Figure 1).
+
+Baselines are built from the same kernel-plan classes as Adaptic output, so
+the two sides are costed by the same performance model and executed by the
+same simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..gpu import Device, GPUSpec
+from ..perfmodel import PerformanceModel
+from ..compiler.plans.base import IN, KernelPlan
+
+
+class HandOptimized:
+    """A fixed chain of hand-tuned kernels."""
+
+    def __init__(self, name: str, spec: GPUSpec,
+                 plans: List[KernelPlan],
+                 portable: bool = False,
+                 call_overhead_us: float = 0.0):
+        self.name = name
+        self.spec = spec
+        self._plans = plans
+        #: ``portable=True`` marks baselines whose authors already shipped
+        #: multiple input-specialized kernels (SDK MonteCarlo, §5.1): the
+        #: fastest plan is chosen per input, like Adaptic does.
+        self.portable = portable
+        #: Library dispatch cost per invocation (CUBLAS handle lookup,
+        #: argument checking) on top of the raw kernel launches.
+        self.call_overhead_us = call_overhead_us
+
+    # ------------------------------------------------------------------
+    def plans(self, model: PerformanceModel,
+              params: Dict[str, float]) -> List[KernelPlan]:
+        if not self.portable:
+            return self._plans
+        best = min(self._plans,
+                   key=lambda p: p.predicted_seconds(model, params))
+        return [best]
+
+    def predicted_seconds(self, model: PerformanceModel,
+                          params: Dict[str, float]) -> float:
+        return (self.call_overhead_us * 1e-6
+                + sum(plan.predicted_seconds(model, params)
+                      for plan in self.plans(model, params)))
+
+    # ------------------------------------------------------------------
+    def run(self, host_input: np.ndarray, params: Dict[str, float],
+            device: Optional[Device] = None,
+            model: Optional[PerformanceModel] = None) -> np.ndarray:
+        """Functional execution of the fixed chain (for validation)."""
+        device = device or Device(self.spec)
+        model = model or PerformanceModel(self.spec)
+        buf = None
+        for index, plan in enumerate(self.plans(model, params)):
+            if index == 0:
+                staged = plan.restructure_input(
+                    np.asarray(host_input, dtype=np.float64), params)
+                buf = device.to_device(staged, name=f"{self.name}.in")
+            buf = plan.execute(device, {IN: buf}, params)
+        return device.to_host(buf)
+
+    def __repr__(self) -> str:
+        tags = [p.strategy for p in self._plans]
+        return f"HandOptimized({self.name!r}, {tags})"

@@ -1,0 +1,164 @@
+"""CUDA SDK-style hand-optimized baselines (§5.1, §5.3).
+
+Each mirrors the SDK sample's fixed strategy:
+
+* ``scalarProd`` — one block per vector pair (single-kernel reduction);
+  great with many pairs, starved with few.
+* ``MonteCarlo`` — the SDK sample ships *two* kernels optimized for
+  different input ranges ("originally been developed in an input portable
+  way"), so the baseline is marked portable and picks per input.
+* ``oceanFFT`` / ``convolutionSeparable`` — shared-memory tiling with one
+  fixed tile shape.
+* the §5.3 suite — straightforward fixed-geometry kernels.
+"""
+
+from __future__ import annotations
+
+from ..apps import convolution as conv_app
+from ..apps import insensitive as ins_app
+from ..apps import montecarlo as mc_app
+from ..apps import stencil2d as ocean_app
+from ..apps.blas1 import SDOT_SRC
+from ..compiler.plans import (GenericActorPlan, GenericShape, MapPlan,
+                              MapShape, ReduceShape, ReduceSingleKernelPlan,
+                              ReduceTwoKernelPlan, StencilShape,
+                              TiledStencilPlan)
+from ..compiler.plans.mapplan import MapPlan as _MapPlan
+from ..compiler.reducers import ScalarReducer
+from ..gpu import GPUSpec, TESLA_C2050
+from ..ir import classify, lift_code
+from ..ir import nodes as N
+from .base import HandOptimized
+
+SDK_THREADS = 256
+#: SDK elementwise samples use grid-stride loops with a capped grid.
+SDK_ITEMS_PER_THREAD = 4
+#: Fixed SDK tile shape for the stencil samples.
+SDK_TILE = (64, 8)
+
+
+def scalar_product(spec: GPUSpec = TESLA_C2050) -> HandOptimized:
+    pattern = classify(lift_code(SDOT_SRC)).pattern
+    reducer_fn = lambda p: ScalarReducer(pattern, p)  # noqa: E731
+    shape = ReduceShape(lambda p: p["pairs"], lambda p: p["n"], 2)
+    # The SDK kernel reads the two vectors of a pair as separate arrays.
+    plan = ReduceSingleKernelPlan(spec, "sdk_scalarprod", shape, reducer_fn,
+                                  layout="row_soa", threads=SDK_THREADS)
+    return HandOptimized("sdk.scalar_product", spec, [plan])
+
+
+def montecarlo(spec: GPUSpec = TESLA_C2050) -> HandOptimized:
+    pattern = classify(lift_code(mc_app.MC_SRC)).pattern
+    reducer_fn = lambda p: ScalarReducer(pattern, p)  # noqa: E731
+    shape = ReduceShape(lambda p: p["options"], lambda p: p["paths"], 1)
+    plans = [
+        ReduceSingleKernelPlan(spec, "sdk_mc", shape, reducer_fn,
+                               threads=SDK_THREADS),
+        ReduceTwoKernelPlan(spec, "sdk_mc", shape, reducer_fn,
+                            threads=SDK_THREADS),
+    ]
+    return HandOptimized("sdk.montecarlo", spec, plans, portable=True)
+
+
+def ocean_fft(spec: GPUSpec = TESLA_C2050) -> HandOptimized:
+    pattern = classify(lift_code(ocean_app.OCEAN_SRC)).pattern
+    shape = StencilShape(lambda p: p["width"],
+                         lambda p: p["size"] // p["width"])
+    plan = TiledStencilPlan(spec, "sdk_ocean", shape, pattern,
+                            threads=SDK_THREADS, tile=SDK_TILE)
+    return HandOptimized("sdk.ocean_fft", spec, [plan])
+
+
+def convolution_separable(spec: GPUSpec = TESLA_C2050,
+                          radius: int = conv_app.DEFAULT_RADIUS
+                          ) -> HandOptimized:
+    row_pat = classify(lift_code(conv_app.row_source(radius))).pattern
+    col_pat = classify(lift_code(conv_app.col_source(radius))).pattern
+    row_shape = StencilShape(lambda p: p["size"], lambda p: 1)
+    col_shape = StencilShape(lambda p: p["width"],
+                             lambda p: p["size"] // p["width"])
+    plans = [
+        TiledStencilPlan(spec, "sdk_conv_row", row_shape, row_pat,
+                         threads=SDK_THREADS, tile=(128, 1)),
+        TiledStencilPlan(spec, "sdk_conv_col", col_shape, col_pat,
+                         threads=SDK_THREADS, tile=SDK_TILE),
+    ]
+    return HandOptimized("sdk.convolution_separable", spec, plans)
+
+
+# ---------------------------------------------------------------------------
+# §5.3 input-insensitive suite
+# ---------------------------------------------------------------------------
+
+def blackscholes(spec: GPUSpec = TESLA_C2050) -> HandOptimized:
+    pattern = classify(lift_code(ins_app.BLACKSCHOLES_SRC)).pattern
+    shape = MapShape(lambda p: p["n"], 3, 2)
+    plan = MapPlan(spec, "sdk_blackscholes", shape, pattern.outputs,
+                   layout="restructured", threads=SDK_THREADS,
+                   items_per_thread=SDK_ITEMS_PER_THREAD)
+    return HandOptimized("sdk.blackscholes", spec, [plan])
+
+
+def vectoradd(spec: GPUSpec = TESLA_C2050) -> HandOptimized:
+    pattern = classify(lift_code(ins_app.VECTORADD_SRC)).pattern
+    shape = MapShape(lambda p: p["n"], 2, 1)
+    plan = MapPlan(spec, "sdk_vectoradd", shape, pattern.outputs,
+                   layout="restructured", threads=SDK_THREADS,
+                   items_per_thread=SDK_ITEMS_PER_THREAD)
+    return HandOptimized("sdk.vectoradd", spec, [plan])
+
+
+def quasirandom(spec: GPUSpec = TESLA_C2050) -> HandOptimized:
+    pattern = classify(lift_code(ins_app.QUASIRANDOM_SRC)).pattern
+    shape = MapShape(lambda p: p["n"], 1, 1)
+    plan = MapPlan(spec, "sdk_quasirandom", shape, pattern.outputs,
+                   threads=SDK_THREADS,
+                   items_per_thread=SDK_ITEMS_PER_THREAD)
+    return HandOptimized("sdk.quasirandom", spec, [plan])
+
+
+def dct8x8(spec: GPUSpec = TESLA_C2050) -> HandOptimized:
+    work = lift_code(ins_app.DCT8X8_SRC)
+    shape = GenericShape(lambda p: p["blocks"], lambda p: 64,
+                         lambda p: 64, lambda p: 64)
+    # The SDK sample stages blocks through shared memory so its loads
+    # coalesce; the restructured layout is the equivalent access pattern.
+    plan = GenericActorPlan(spec, "sdk_dct", work, shape, threads=64,
+                            layout="restructured")
+    return HandOptimized("sdk.dct8x8", spec, [plan])
+
+
+def histogram(spec: GPUSpec = TESLA_C2050) -> HandOptimized:
+    hist_work = lift_code(ins_app._local_hist_source())
+    hist_shape = GenericShape(lambda p: p["chunks"],
+                              lambda p: ins_app.CHUNK,
+                              lambda p: ins_app.BINS)
+    # The SDK histogram accumulates in shared memory with coalesced
+    # global reads; the restructured layout models that access pattern.
+    local = GenericActorPlan(spec, "sdk_hist_local", hist_work, hist_shape,
+                             threads=64, layout="restructured")
+    # Transpose as index translation, then one block per bin.
+    gather = N.BinOp(
+        "+",
+        N.BinOp("*", N.BinOp("%", N.Var("_i"), N.Var("chunks")),
+                N.Const(ins_app.BINS)),
+        N.BinOp("//", N.Var("_i"), N.Var("chunks")))
+    tshape = MapShape(lambda p: ins_app.BINS * p["chunks"], 1, 1)
+    transpose = _MapPlan(spec, "sdk_hist_transpose", tshape, [N.Var("_x0")],
+                         threads=SDK_THREADS, gather=gather)
+    sum_pattern = classify(lift_code(ins_app.BIN_SUM_SRC)).pattern
+    reducer_fn = lambda p: ScalarReducer(sum_pattern, p)  # noqa: E731
+    rshape = ReduceShape(lambda p: ins_app.BINS, lambda p: p["chunks"], 1)
+    binsum = ReduceSingleKernelPlan(spec, "sdk_hist_sum", rshape, reducer_fn,
+                                    threads=64)
+    return HandOptimized("sdk.histogram", spec, [local, transpose, binsum])
+
+
+#: Registry for the §5.3 harness: name -> baseline factory.
+INSENSITIVE = {
+    "blackscholes": blackscholes,
+    "vectoradd": vectoradd,
+    "quasirandom": quasirandom,
+    "dct8x8": dct8x8,
+    "histogram": histogram,
+}

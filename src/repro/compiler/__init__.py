@@ -1,0 +1,11 @@
+"""Adaptic compiler: classification, fusion, kernel variants, runtime."""
+
+from .adaptic import (AdapticCompiler, AdapticOptions, CompileError,
+                      compile_program)
+from .runtime import CompiledProgram, RunResult, SegmentExecution
+from .segments import Segment
+
+__all__ = [
+    "AdapticCompiler", "AdapticOptions", "compile_program", "CompileError",
+    "CompiledProgram", "RunResult", "SegmentExecution", "Segment",
+]

@@ -1,0 +1,178 @@
+"""Expression code generation: IR → Python (simulator) and IR → CUDA C.
+
+Kernel templates inline actor element functions into their thread bodies.
+The Python emitter produces a compiled scalar function (program parameters
+are constant-folded at build time, so the hot inner loops of the functional
+executor pay no dictionary lookups); the C emitter produces the expression
+text spliced into generated CUDA kernels.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Sequence
+
+from ..ir import nodes as N
+
+_PY_INTRINSICS = {
+    "sqrt": "math.sqrt", "exp": "math.exp", "log": "math.log",
+    "sin": "math.sin", "cos": "math.cos", "floor": "math.floor",
+    "abs": "abs", "min": "min", "max": "max", "int": "int", "float": "float",
+}
+
+_C_INTRINSICS = {
+    "sqrt": "sqrtf", "exp": "expf", "log": "logf", "sin": "sinf",
+    "cos": "cosf", "floor": "floorf", "abs": "fabsf",
+    "min": "fminf", "max": "fmaxf", "int": "(int)", "float": "(float)",
+}
+
+#: Identity and absorbing elements for reduction combine operators.
+COMBINE_IDENTITY = {"+": 0.0, "*": 1.0, "min": math.inf, "max": -math.inf}
+
+_C_COMBINE = {
+    "+": "{a} + {b}", "*": "{a} * {b}",
+    "min": "fminf({a}, {b})", "max": "fmaxf({a}, {b})",
+}
+
+
+class ExprGenError(ValueError):
+    """The expression contains constructs the emitter cannot lower."""
+
+
+# ---------------------------------------------------------------------------
+# Python emission
+# ---------------------------------------------------------------------------
+
+def python_expr(expr: N.Expr, args: Sequence[str],
+                params: Dict[str, float]) -> str:
+    """Render ``expr`` as a Python expression over ``args``.
+
+    Variables in ``params`` are folded to constants; anything else must be
+    listed in ``args``.
+    """
+    if isinstance(expr, N.Const):
+        return repr(expr.value)
+    if isinstance(expr, N.Var):
+        if expr.name in args:
+            return expr.name
+        if expr.name in params:
+            value = params[expr.name]
+            if isinstance(value, int):
+                return repr(value)
+            return repr(float(value))  # normalizes numpy scalars
+        raise ExprGenError(
+            f"unbound variable {expr.name!r} (args={list(args)}, "
+            f"params={sorted(params)})")
+    if isinstance(expr, N.BinOp):
+        left = python_expr(expr.left, args, params)
+        right = python_expr(expr.right, args, params)
+        return f"({left} {expr.op} {right})"
+    if isinstance(expr, N.UnaryOp):
+        inner = python_expr(expr.operand, args, params)
+        return f"(not {inner})" if expr.op == "not" else f"(-{inner})"
+    if isinstance(expr, N.Call):
+        if expr.fn == "select":
+            cond, a, b = (python_expr(e, args, params) for e in expr.args)
+            return f"({a} if {cond} else {b})"
+        fn = _PY_INTRINSICS.get(expr.fn)
+        if fn is None:
+            raise ExprGenError(f"unknown intrinsic {expr.fn!r}")
+        inner = ", ".join(python_expr(a, args, params) for a in expr.args)
+        return f"{fn}({inner})"
+    if isinstance(expr, N.Index):
+        idx = python_expr(expr.index, args, params)
+        return f"{expr.array}[int({idx})]"
+    raise ExprGenError(
+        f"cannot lower {type(expr).__name__} to a scalar expression "
+        "(pops/peeks must be pre-substituted by the kernel template)")
+
+
+def compile_scalar_fn(expr: N.Expr, args: Sequence[str],
+                      params: Dict[str, float],
+                      name: str = "elem",
+                      arrays: Dict[str, object] = None) -> Callable:
+    """Compile ``expr`` to a Python function ``f(*args)``.
+
+    ``arrays`` binds auxiliary (:class:`~repro.ir.nodes.Index`) arrays into
+    the function's namespace.
+    """
+    body = python_expr(expr, args, params)
+    source = f"def {name}({', '.join(args)}):\n    return {body}\n"
+    namespace = {"math": math}
+    if arrays:
+        namespace.update(arrays)
+    exec(compile(source, f"<exprgen:{name}>", "exec"), namespace)
+    fn = namespace[name]
+    fn.__source__ = source
+    return fn
+
+
+def compile_combine_fn(kind: str) -> Callable:
+    """Binary combine function for a reduction kind (+, *, min, max)."""
+    if kind == "+":
+        return lambda a, b: a + b
+    if kind == "*":
+        return lambda a, b: a * b
+    if kind == "min":
+        return min
+    if kind == "max":
+        return max
+    raise ExprGenError(f"unknown combine kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# CUDA C emission
+# ---------------------------------------------------------------------------
+
+def c_expr(expr: N.Expr, renames: Dict[str, str] = None) -> str:
+    """Render ``expr`` as a C expression; ``renames`` maps IR names to C."""
+    renames = renames or {}
+    if isinstance(expr, N.Const):
+        if isinstance(expr.value, bool):
+            return "1" if expr.value else "0"
+        if isinstance(expr.value, float):
+            return f"{expr.value}f"
+        return str(expr.value)
+    if isinstance(expr, N.Var):
+        return renames.get(expr.name, expr.name)
+    if isinstance(expr, N.BinOp):
+        left = c_expr(expr.left, renames)
+        right = c_expr(expr.right, renames)
+        if expr.op == "//":
+            return f"({left} / {right})"   # integer division in C
+        if expr.op == "**":
+            return f"powf({left}, {right})"
+        if expr.op == "and":
+            return f"({left} && {right})"
+        if expr.op == "or":
+            return f"({left} || {right})"
+        return f"({left} {expr.op} {right})"
+    if isinstance(expr, N.UnaryOp):
+        inner = c_expr(expr.operand, renames)
+        return f"(!{inner})" if expr.op == "not" else f"(-{inner})"
+    if isinstance(expr, N.Call):
+        if expr.fn == "select":
+            cond, a, b = (c_expr(e, renames) for e in expr.args)
+            return f"({cond} ? {a} : {b})"
+        fn = _C_INTRINSICS.get(expr.fn)
+        if fn is None:
+            raise ExprGenError(f"unknown intrinsic {expr.fn!r}")
+        inner = ", ".join(c_expr(a, renames) for a in expr.args)
+        return f"{fn}({inner})"
+    if isinstance(expr, N.Index):
+        name = renames.get(expr.array, expr.array)
+        return f"{name}[{c_expr(expr.index, renames)}]"
+    raise ExprGenError(f"cannot lower {type(expr).__name__} to C")
+
+
+def c_combine(kind: str, a: str, b: str) -> str:
+    template = _C_COMBINE.get(kind)
+    if template is None:
+        raise ExprGenError(f"unknown combine kind {kind!r}")
+    return template.format(a=a, b=b)
+
+
+def combine_identity(kind: str) -> float:
+    if kind not in COMBINE_IDENTITY:
+        raise ExprGenError(f"unknown combine kind {kind!r}")
+    return COMBINE_IDENTITY[kind]

@@ -1,0 +1,179 @@
+"""Actor integration at the pattern level (§4.3).
+
+Vertical integration fuses producer/consumer actors so intermediate values
+never touch global memory.  On classified patterns this is symbolic function
+composition:
+
+* map ∘ map — the downstream map's inputs are replaced by the upstream
+  map's output expressions;
+* map ∘ reduction — the reduction's element function absorbs the upstream
+  map, yielding a single fused reduction kernel (this is how an 11-step
+  BiCGSTAB step collapses into one kernel);
+* round-robin split-joins of maps — the parallel branches become one map
+  over the interleaved stream, i.e. the splitter/joiner disappear into
+  index translation (§4.3.1's "replacing transfer actors with index
+  translation").
+
+All functions return ``None`` when the shapes do not line up; the segmenter
+then falls back to separate kernels.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List, Optional, Sequence
+
+from ..ir import nodes as N
+from ..ir.patterns import (ArgReducePattern, MapPattern, ReductionPattern,
+                           TransferPattern)
+
+
+def _shift_map_iteration(outputs: Sequence[N.Expr], k: int, group: int,
+                         j: int) -> List[N.Expr]:
+    """Rewrite one upstream map iteration for fused position ``j``.
+
+    The upstream map consumed ``k`` pops per iteration; after grouping
+    ``group`` upstream iterations into one fused iteration, the ``j``-th
+    upstream iteration reads placeholders ``_x{j*k}.._x{j*k+k-1}`` and its
+    iteration index becomes ``_i * group + j``.
+    """
+    bindings = {f"_x{p}": N.Var(f"_x{j * k + p}") for p in range(k)}
+    bindings["_i"] = N.BinOp(
+        "+", N.BinOp("*", N.Var("_i"), N.Const(group)), N.Const(j))
+    return [N.substitute(copy.deepcopy(o), bindings) for o in outputs]
+
+
+#: Upper bound on the fused per-iteration width; larger groupings would
+#: bloat the generated kernel body without saving meaningful traffic.
+MAX_FUSED_WIDTH = 16
+
+
+def compose_maps(up: MapPattern, down: MapPattern) -> Optional[MapPattern]:
+    """Fuse two elementwise actors into one (vertical integration).
+
+    Handles arbitrary rate ratios by grouping ``lcm(m, k)`` elements per
+    fused iteration: ``a = lcm/m`` upstream iterations feed ``b = lcm/k``
+    downstream iterations.  One fused iteration therefore consumes
+    ``a * up.pops`` elements and produces ``b * down.pushes``.
+    """
+    import math
+    m, k = up.pushes_per_iter, down.pops_per_iter
+    lcm = m * k // math.gcd(m, k)
+    a, b = lcm // m, lcm // k
+    if lcm > MAX_FUSED_WIDTH \
+            or a * up.pops_per_iter > MAX_FUSED_WIDTH \
+            or b * down.pushes_per_iter > MAX_FUSED_WIDTH:
+        return None
+    produced: List[N.Expr] = []
+    for j in range(a):
+        produced.extend(_shift_map_iteration(up.outputs, up.pops_per_iter,
+                                             a, j))
+    assert len(produced) == lcm
+    outputs: List[N.Expr] = []
+    for j2 in range(b):
+        bindings = {f"_x{p}": produced[j2 * k + p] for p in range(k)}
+        if b > 1:
+            bindings["_i"] = N.BinOp(
+                "+", N.BinOp("*", N.Var("_i"), N.Const(b)), N.Const(j2))
+        outputs.extend(N.substitute(copy.deepcopy(o), bindings)
+                       for o in down.outputs)
+    if b == 1:
+        trip = down.trip
+    else:
+        trip = N.BinOp("//", copy.deepcopy(down.trip), N.Const(b))
+    return MapPattern(
+        trip=trip,
+        pops_per_iter=up.pops_per_iter * a,
+        pushes_per_iter=down.pushes_per_iter * b,
+        outputs=outputs)
+
+
+def fuse_map_into_reduction(
+        up: MapPattern,
+        down: ReductionPattern) -> Optional[ReductionPattern]:
+    """Absorb an upstream map into a reduction's element function.
+
+    Requires the upstream push rate to divide the reduction's per-iteration
+    pop count, so one reduction iteration maps to a whole number of
+    upstream iterations.
+    """
+    m, k = up.pushes_per_iter, down.pops_per_iter
+    if k % m != 0:
+        return None
+    group = k // m
+    if group * up.pops_per_iter > MAX_FUSED_WIDTH:
+        return None
+    produced: List[N.Expr] = []
+    for j in range(group):
+        produced.extend(_shift_map_iteration(up.outputs, up.pops_per_iter,
+                                             group, j))
+    bindings = {f"_x{p}": produced[p] for p in range(k)}
+    element = N.substitute(copy.deepcopy(down.element), bindings)
+    return ReductionPattern(
+        kind=down.kind, init=down.init, element=element,
+        pops_per_iter=up.pops_per_iter * group, trip=down.trip,
+        epilogue=down.epilogue)
+
+
+def fuse_map_into_argreduce(
+        up: MapPattern,
+        down: ArgReducePattern) -> Optional[ArgReducePattern]:
+    """Absorb an upstream map into an arg-reduction's element function."""
+    if up.pushes_per_iter != 1 or up.pops_per_iter != 1:
+        return None
+    bindings = {"_x0": copy.deepcopy(up.outputs[0])}
+    element = N.substitute(copy.deepcopy(down.element), bindings)
+    return ArgReducePattern(
+        cmp=down.cmp, element=element, init=down.init, trip=down.trip,
+        pushes_value=down.pushes_value)
+
+
+def compose_transfer_into_map(up: TransferPattern,
+                              down: MapPattern) -> Optional[MapPattern]:
+    """Replace a transfer actor by index translation into the next map.
+
+    The transfer's source-offset mapping becomes the downstream map's
+    gather function: element ``e`` of the fused map reads source element
+    ``mapping(e)``.  Returned pattern carries the gather in
+    ``removed_recurrences['__gather__']`` (consumed by the segmenter).
+    """
+    if down.pops_per_iter != 1:
+        return None
+    fused = MapPattern(
+        trip=down.trip, pops_per_iter=1,
+        pushes_per_iter=down.pushes_per_iter,
+        outputs=[copy.deepcopy(o) for o in down.outputs])
+    fused.removed_recurrences = dict(down.removed_recurrences)
+    fused.removed_recurrences["__gather__"] = copy.deepcopy(up.mapping)
+    return fused
+
+
+def compose_roundrobin_maps(weights_in: Sequence[int],
+                            branches: Sequence[MapPattern],
+                            weights_out: Sequence[int]
+                            ) -> Optional[MapPattern]:
+    """Fuse a round-robin split-join of maps into one interleaved map.
+
+    Requires each branch ``b`` to be a map consuming ``weights_in[b]`` and
+    producing ``weights_out[b]`` per iteration, with equal trip counts, so
+    one fused iteration corresponds to one round of the splitter/joiner.
+    """
+    if len(branches) != len(weights_in) or len(branches) != len(weights_out):
+        return None
+    offset_in = 0
+    outputs: List[N.Expr] = []
+    for branch, win, wout in zip(branches, weights_in, weights_out):
+        if branch is None:
+            return None
+        if branch.pops_per_iter != win or branch.pushes_per_iter != wout:
+            return None
+        bindings = {f"_x{p}": N.Var(f"_x{offset_in + p}")
+                    for p in range(win)}
+        outputs.extend(N.substitute(copy.deepcopy(o), bindings)
+                       for o in branch.outputs)
+        offset_in += win
+    return MapPattern(
+        trip=branches[0].trip,
+        pops_per_iter=sum(weights_in),
+        pushes_per_iter=sum(weights_out),
+        outputs=outputs)

@@ -1,0 +1,26 @@
+"""Kernel plan templates: one class per implementation strategy."""
+
+from .base import (IN, LAYOUT_INTERLEAVED, LAYOUT_RESTRUCTURED, OUT,
+                   KernelPlan, PlannedLaunch)
+from .cpuplan import CpuPlan
+from .genericplan import GenericActorPlan, GenericShape
+from .mapplan import MapPlan, MapShape
+from .reduceplan import (LAYOUT_ROW_SOA, LAYOUT_ROWS, LAYOUT_TRANSPOSED,
+                         ReduceShape, ReduceSingleKernelPlan,
+                         ReduceThreadPerArrayPlan, ReduceTwoKernelPlan,
+                         restructure_host)
+from .stencilplan import (NaiveStencilPlan, StencilShape, TiledStencilPlan,
+                          decompose_offsets, linear_offsets, reuse_metric)
+
+__all__ = [
+    "KernelPlan", "PlannedLaunch", "IN", "OUT",
+    "LAYOUT_INTERLEAVED", "LAYOUT_RESTRUCTURED",
+    "MapPlan", "MapShape",
+    "GenericActorPlan", "GenericShape",
+    "ReduceShape", "ReduceSingleKernelPlan", "ReduceTwoKernelPlan",
+    "ReduceThreadPerArrayPlan", "restructure_host",
+    "LAYOUT_ROWS", "LAYOUT_ROW_SOA", "LAYOUT_TRANSPOSED",
+    "StencilShape", "TiledStencilPlan", "NaiveStencilPlan",
+    "decompose_offsets", "linear_offsets", "reuse_metric",
+    "CpuPlan",
+]

@@ -1,0 +1,114 @@
+"""Kernel-plan infrastructure.
+
+A :class:`KernelPlan` is one concrete GPU implementation strategy for a
+program segment: it knows how to *execute* functionally (launch simulator
+kernels on a device), how to *predict* its time (produce
+:class:`~repro.perfmodel.KernelWorkload` descriptions for the analytic
+model), and how to *emit* CUDA C text.  Adaptic's input-aware optimizations
+work by generating several plans per segment and letting the performance
+model pick per input subrange.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ...gpu import Device, DeviceArray, GPUSpec
+from ...perfmodel import KernelWorkload, PerformanceModel
+
+#: Canonical buffer names inside a segment.
+IN = "in"
+OUT = "out"
+
+#: Input layouts a plan may require (memory restructuring, §4.1.1).
+LAYOUT_INTERLEAVED = "interleaved"    # stream order, AoS
+LAYOUT_RESTRUCTURED = "restructured"  # component-major, SoA
+
+
+@dataclasses.dataclass
+class PlannedLaunch:
+    """One kernel launch in a plan, with its modeled workload."""
+
+    name: str
+    grid: int
+    block: int
+    workload: KernelWorkload
+
+
+class KernelPlan(abc.ABC):
+    """One implementation strategy for a segment, on one GPU target."""
+
+    #: Human-readable strategy tag shown in reports (e.g. "reduce.two_kernel").
+    strategy: str = "generic"
+
+    def __init__(self, spec: GPUSpec, name: str):
+        self.spec = spec
+        self.name = name
+        #: Optimizations this plan embodies (for Figure 11-style breakdowns).
+        self.optimizations: List[str] = []
+        #: Input layout the plan requires.
+        self.input_layout: str = LAYOUT_INTERLEAVED
+
+    # -- modeling ---------------------------------------------------------
+    @abc.abstractmethod
+    def launches(self, params: Dict[str, float]) -> List[PlannedLaunch]:
+        """The launch sequence for one execution, with workloads."""
+
+    def predicted_seconds(self, model: PerformanceModel,
+                          params: Dict[str, float]) -> float:
+        """Model-predicted execution time including launch overheads."""
+        total = 0.0
+        for launch in self.launches(params):
+            est = model.estimate(launch.workload)
+            total += est.seconds + self.spec.kernel_launch_overhead_us * 1e-6
+        return total
+
+    # -- execution ----------------------------------------------------------
+    @abc.abstractmethod
+    def execute(self, device: Device, buffers: Dict[str, DeviceArray],
+                params: Dict[str, float]) -> DeviceArray:
+        """Run functionally; returns the segment output buffer."""
+
+    @abc.abstractmethod
+    def output_size(self, params: Dict[str, float]) -> int:
+        """Number of elements the segment produces."""
+
+    def restructure_input(self, data: np.ndarray, params) -> np.ndarray:
+        """Host-side staging into the plan's required layout (default: none)."""
+        return np.asarray(data).reshape(-1)
+
+    # -- code emission ----------------------------------------------------
+    def cuda_source(self) -> str:
+        """Generated CUDA C text for this plan's kernels."""
+        return f"/* {self.name}: no CUDA emitter for this plan */\n"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, {self.strategy})"
+
+
+def alloc_output(device: Device, plan: KernelPlan,
+                 params: Dict[str, float],
+                 dtype=np.float64) -> DeviceArray:
+    return device.alloc(plan.output_size(params), dtype=dtype,
+                        name=f"{plan.name}.out")
+
+
+def scalar_params(params: Dict[str, float]) -> Dict[str, float]:
+    """Strip array-valued entries; the model only consumes scalars."""
+    return {k: v for k, v in params.items() if np.isscalar(v)}
+
+
+def expr_ops(expr) -> int:
+    """Dynamic instruction estimate for one evaluation of an IR expression."""
+    from ...ir import nodes as N
+    return sum(1 for n in expr.walk()
+               if isinstance(n, (N.BinOp, N.UnaryOp, N.Call, N.Index)))
+
+
+def expr_aux_loads(expr) -> int:
+    from ...ir import nodes as N
+    return sum(1 for n in expr.walk() if isinstance(n, N.Index))

@@ -1,0 +1,74 @@
+"""Host (CPU) execution plan.
+
+Adaptic's input-unaware stage "decides whether each actor should be executed
+on the CPU or GPU" (§3).  Actors that do not profit from the GPU — or whose
+work functions fall outside every GPU template — run on the host through the
+reference interpreter.  The cost model is a simple per-element throughput
+curve, which is all the CPU/GPU placement decision needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ...gpu import Device, DeviceArray, GPUSpec
+from ...ir import nodes as N
+from ...ir.interp import WorkInterpreter
+from ...perfmodel import PerformanceModel
+from ..costing import count_dynamic
+from .base import IN, KernelPlan, PlannedLaunch
+
+#: Sustained host throughput for interpreter-style scalar work, ops/second.
+CPU_OPS_PER_SECOND = 2.0e9
+#: Fixed host dispatch cost per segment execution, seconds.
+CPU_DISPATCH_SECONDS = 2.0e-6
+
+
+class CpuPlan(KernelPlan):
+    """Run the actor's work function on the host."""
+
+    strategy = "cpu.interpreter"
+
+    def __init__(self, spec: GPUSpec, name: str, work: N.WorkFunction,
+                 invocations: Callable[[Dict], int],
+                 pop: Callable[[Dict], int], push: Callable[[Dict], int],
+                 state: Optional[Dict[str, float]] = None):
+        super().__init__(spec, name)
+        self.work = work
+        self._invocations = invocations
+        self._pop = pop
+        self._push = push
+        #: Initial persistent actor state (stateful filters are inherently
+        #: serial, which is exactly why they stay on the CPU).
+        self.state = dict(state or {})
+        self.optimizations = ["cpu_placement"]
+
+    def launches(self, params) -> List[PlannedLaunch]:
+        return []
+
+    def predicted_seconds(self, model: PerformanceModel, params) -> float:
+        counts = count_dynamic(self.work, params)
+        per_invocation = (counts.comp + counts.pops + counts.pushes
+                          + counts.peeks + counts.aux_loads)
+        total_ops = per_invocation * self._invocations(params)
+        return CPU_DISPATCH_SECONDS + total_ops / CPU_OPS_PER_SECOND
+
+    def output_size(self, params) -> int:
+        return self._invocations(params) * int(self._push(params))
+
+    def execute(self, device: Device, buffers, params) -> DeviceArray:
+        invocations = self._invocations(params)
+        tape = list(buffers[IN].data)
+        interp = WorkInterpreter(self.work, params, state=dict(self.state))
+        outputs: List[float] = []
+        cursor = 0
+        for _ in range(invocations):
+            out, cursor = interp.run(tape, cursor)
+            outputs.extend(out)
+        return device.alloc_from(np.asarray(outputs, dtype=np.float64),
+                                 name=f"{self.name}.out")
+
+    def cuda_source(self) -> str:
+        return f"// {self.name}: executed on the host CPU\n"

@@ -1,0 +1,268 @@
+"""Compiled programs and runtime kernel management (§3).
+
+A :class:`CompiledProgram` is Adaptic's output: the segment chain with all
+surviving kernel variants.  At execution time the runtime kernel-management
+unit inspects the actual input parameters, evaluates the performance model
+for each variant (a handful of closed-form evaluations — "completely
+executed on the CPU during the initial data transfer"), picks the fastest,
+computes its launch parameters, and runs it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..gpu import Device, GPUSpec, PCIE_BANDWIDTH_GBPS
+from ..perfmodel import PerformanceModel, geometric_points
+from .plans.base import IN, KernelPlan
+from .segments import Segment
+
+#: Layouts that need no host-side restructuring.
+_CANONICAL = {"interleaved", "rows"}
+
+
+@dataclasses.dataclass
+class SegmentExecution:
+    """What ran for one segment."""
+
+    segment: str
+    kind: str
+    strategy: str
+    predicted_seconds: float
+    optimizations: List[str]
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Functional output plus the modeled execution report."""
+
+    output: np.ndarray
+    selections: List[SegmentExecution]
+    predicted_kernel_seconds: float
+    transfer_seconds: float
+
+    @property
+    def predicted_total_seconds(self) -> float:
+        return self.predicted_kernel_seconds + self.transfer_seconds
+
+    def strategy_of(self, segment: str) -> str:
+        for sel in self.selections:
+            if sel.segment == segment:
+                return sel.strategy
+        raise KeyError(segment)
+
+
+class CompiledProgram:
+    """Adaptic's output: selectable kernel variants per segment."""
+
+    def __init__(self, program, spec: GPUSpec, model: PerformanceModel,
+                 segments: List[Segment], options):
+        self.program = program
+        self.spec = spec
+        self.model = model
+        self.segments = segments
+        self.options = options
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def _eligible(self, segment: Segment, from_host: bool) -> List[KernelPlan]:
+        if from_host:
+            return segment.plans
+        plans = [p for p in segment.plans if p.input_layout in _CANONICAL]
+        return plans or segment.plans
+
+    def select(self, params: Dict[str, float],
+               force: Optional[Dict[str, str]] = None,
+               input_on_host: bool = True) -> List[KernelPlan]:
+        """Pick one plan per segment for this input (runtime management).
+
+        ``input_on_host=False`` marks inputs already resident in device
+        memory (e.g. a matrix reused across solver iterations): host-side
+        memory restructuring is then unavailable to the first segment.
+        """
+        force = force or {}
+        chosen: List[KernelPlan] = []
+        from_host = input_on_host
+        for segment in self.segments:
+            if segment.name in force:
+                plan = segment.plan_named(force[segment.name])
+            else:
+                eligible = self._eligible(segment, from_host)
+                plan = min(eligible, key=lambda p: p.predicted_seconds(
+                    self.model, params))
+            chosen.append(plan)
+            from_host = False
+        return chosen
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predicted_seconds(self, params: Dict[str, float],
+                          include_transfers: bool = True,
+                          force: Optional[Dict[str, str]] = None,
+                          input_on_host: bool = True) -> float:
+        plans = self.select(params, force, input_on_host=input_on_host)
+        total = sum(plan.predicted_seconds(self.model, params)
+                    for plan in plans)
+        if include_transfers:
+            total += self.transfer_seconds(params)
+        return total
+
+    def transfer_seconds(self, params: Dict[str, float]) -> float:
+        """H2D of the program input + D2H of the output (float32 on wire)."""
+        n_in = self.segments[0].input_size(params)
+        n_out = self.segments[-1].output_size(params)
+        return (n_in + n_out) * 4 / (PCIE_BANDWIDTH_GBPS * 1e9) + 2e-5
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, host_input: np.ndarray, params: Dict[str, float],
+            device: Optional[Device] = None,
+            force: Optional[Dict[str, str]] = None) -> RunResult:
+        """Execute functionally on the simulator device."""
+        device = device or Device(self.spec)
+        params = dict(params)
+        host_input = np.asarray(host_input, dtype=np.float64).reshape(-1)
+        if self.program.input_size is not None:
+            expected = self.program.input_size.evaluate(params)
+        else:
+            expected = self.segments[0].input_size(params)
+        if len(host_input) != expected:
+            raise ValueError(
+                f"program expects {expected} input elements for these "
+                f"parameters, got {len(host_input)}")
+
+        plans = self.select(params, force)
+        selections: List[SegmentExecution] = []
+        predicted = 0.0
+        buf = None
+        for index, (segment, plan) in enumerate(zip(self.segments, plans)):
+            if index == 0:
+                staged = host_input
+                if hasattr(plan, "restructure_input"):
+                    staged = plan.restructure_input(host_input, params)
+                buf = device.to_device(staged, name=f"{segment.name}.in")
+            seconds = plan.predicted_seconds(self.model, params)
+            predicted += seconds
+            buf = plan.execute(device, {IN: buf}, params)
+            selections.append(SegmentExecution(
+                segment=segment.name, kind=segment.kind,
+                strategy=plan.strategy, predicted_seconds=seconds,
+                optimizations=list(plan.optimizations)))
+        output = device.to_host(buf)
+        return RunResult(output=output, selections=selections,
+                         predicted_kernel_seconds=predicted,
+                         transfer_seconds=self.transfer_seconds(params))
+
+    # ------------------------------------------------------------------
+    # Compile-time analyses / reporting
+    # ------------------------------------------------------------------
+    def sample_points(self, samples: int = 6,
+                      extra_params: Optional[Dict[str, float]] = None
+                      ) -> List[Dict[str, float]]:
+        """Sample the declared input ranges on a geometric grid."""
+        ranges = self.program.input_ranges
+        if not ranges:
+            return []
+        axes = {name: geometric_points(lo, hi, samples)
+                for name, (lo, hi) in ranges.items()}
+        names = sorted(axes)
+        points = []
+        for combo in itertools.product(*(axes[n] for n in names)):
+            point = dict(extra_params or {})
+            point.update(dict(zip(names, combo)))
+            points.append(point)
+        return points
+
+    def prune_variants(self, samples: int = 6,
+                       extra_params: Optional[Dict[str, float]] = None,
+                       tolerance: float = 0.05) -> None:
+        """Keep only variants that win somewhere in the declared ranges."""
+        points = self.sample_points(samples, extra_params)
+        if not points:
+            return
+        for segment in self.segments:
+            segment.prune(self.model, points, tolerance=tolerance)
+
+    def variant_count(self) -> int:
+        return sum(len(segment.plans) for segment in self.segments)
+
+    def code_size_ratio(self) -> float:
+        """Variant count relative to one kernel per segment (§5.1's 1.4×)."""
+        if not self.segments:
+            return 1.0
+        return self.variant_count() / len(self.segments)
+
+    def cuda_source(self) -> str:
+        chunks = [f"// Adaptic-generated CUDA for {self.program.name!r} "
+                  f"on {self.spec.name} ({self.options.label()})\n"]
+        for segment in self.segments:
+            chunks.append(f"\n// ===== segment {segment.name} "
+                          f"({segment.kind}) =====\n")
+            for plan in segment.plans:
+                chunks.append(plan.cuda_source())
+        return "".join(chunks)
+
+    def range_report(self, samples: int = 8,
+                     extra_params: Optional[Dict[str, float]] = None,
+                     axis: Optional[str] = None) -> str:
+        """Operating input ranges per kernel variant (§3's subranges).
+
+        Sweeps the declared input ranges (or the single ``axis`` parameter)
+        and reports, per segment, which variant the runtime would select on
+        each subrange — the textual form of the paper's per-kernel
+        operating-range tables.
+        """
+        ranges = self.program.input_ranges
+        if axis is not None:
+            ranges = {axis: ranges[axis]}
+        if not ranges:
+            return "(program declares no input ranges)"
+        if len(ranges) != 1:
+            # Multi-axis: list pointwise winners over the sampled grid.
+            points = self.sample_points(samples, extra_params)
+            lines = []
+            for segment in self.segments:
+                lines.append(f"segment {segment.name}:")
+                for point in points:
+                    plan = segment.best_plan(self.model, point)
+                    scalars = {k: v for k, v in point.items()
+                               if np.isscalar(v)}
+                    lines.append(f"  {scalars} -> {plan.strategy}")
+            return "\n".join(lines)
+
+        (name, (lo, hi)), = ranges.items()
+        points = geometric_points(lo, hi, samples)
+        lines = []
+        for segment in self.segments:
+            lines.append(f"segment {segment.name}:")
+            current = None
+            start = prev = points[0]
+            for value in points:
+                params = dict(extra_params or {})
+                params[name] = value
+                strategy = segment.best_plan(self.model, params).strategy
+                if strategy != current:
+                    if current is not None:
+                        lines.append(
+                            f"  {name} in [{start}, {prev}] -> {current}")
+                    current, start = strategy, value
+                prev = value
+            lines.append(f"  {name} in [{start}, {points[-1]}] -> {current}")
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        lines = [f"CompiledProgram {self.program.name!r} "
+                 f"[{self.options.label()}] on {self.spec.name}"]
+        for segment in self.segments:
+            lines.append(f"  {segment.name} ({segment.kind}; actors: "
+                         f"{', '.join(segment.actors)})")
+            for plan in segment.plans:
+                lines.append(f"    - {plan.strategy}")
+        return "\n".join(lines)

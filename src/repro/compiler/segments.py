@@ -1,0 +1,101 @@
+"""Program segments: units of kernel selection.
+
+Adaptic's output is, per actor group, a *set* of kernel variants plus the
+operating input ranges each one wins (§3).  A :class:`Segment` is one such
+group: it owns the candidate :class:`KernelPlan` list, and the runtime
+kernel management picks among them per input.  Segments form a chain; the
+output buffer of one is the input of the next.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..perfmodel import PerformanceModel, Variant, sweep
+from .plans.base import KernelPlan
+
+
+@dataclasses.dataclass
+class Segment:
+    """One selectable unit of the compiled program."""
+
+    name: str
+    kind: str                          # reduction | map | stencil | ...
+    plans: List[KernelPlan]
+    input_size: Callable[[Dict], int]
+    output_size: Callable[[Dict], int]
+    #: Names of auxiliary (const) arrays the plans read from ``params``.
+    consts: tuple = ()
+    #: Filters folded into this segment (for reporting).
+    actors: tuple = ()
+
+    def best_plan(self, model: PerformanceModel,
+                  params: Dict[str, float]) -> KernelPlan:
+        """Runtime kernel management: model-argmin over the variants."""
+        best, best_time = None, float("inf")
+        for plan in self.plans:
+            t = plan.predicted_seconds(model, params)
+            if t < best_time:
+                best, best_time = plan, t
+        if best is None:
+            raise RuntimeError(f"segment {self.name!r} has no plans")
+        return best
+
+    def plan_named(self, strategy: str) -> KernelPlan:
+        for plan in self.plans:
+            if plan.strategy == strategy:
+                return plan
+        raise KeyError(
+            f"segment {self.name!r} has no variant {strategy!r}; "
+            f"available: {[p.strategy for p in self.plans]}")
+
+    def decision_table(self, model: PerformanceModel,
+                       points: List[Dict[str, float]],
+                       key: Callable[[Dict], object] = None):
+        """Break-even sweep over parameter points (compile-time analysis)."""
+        key = key or (lambda p: tuple(sorted(
+            (k, v) for k, v in p.items() if np.isscalar(v))))
+        by_key = {key(p): p for p in points}
+        variants = [
+            Variant(plan.strategy,
+                    lambda kp, plan=plan: plan.predicted_seconds(
+                        model, by_key[kp]))
+            for plan in self.plans
+        ]
+        return sweep(variants, [key(p) for p in points])
+
+    def prune(self, model: PerformanceModel,
+              points: List[Dict[str, float]],
+              tolerance: float = 0.05) -> List[KernelPlan]:
+        """Keep a minimal variant set near-optimal over the declared range.
+
+        Greedy set cover: every sampled point must be served by some kept
+        variant within ``tolerance`` of the pointwise optimum.  Near-tied
+        variants collapse onto one kernel, which is what keeps the paper's
+        binary-size growth moderate (§5.1 reports 1.4× average).
+        """
+        if len(self.plans) <= 1 or not points:
+            return self.plans
+        times = {plan.strategy:
+                 [plan.predicted_seconds(model, p) for p in points]
+                 for plan in self.plans}
+        best = [min(times[s][i] for s in times)
+                for i in range(len(points))]
+        covers = {s: {i for i in range(len(points))
+                      if times[s][i] <= best[i] * (1 + tolerance)}
+                  for s in times}
+        uncovered = set(range(len(points)))
+        kept: List[str] = []
+        while uncovered:
+            strategy = max(covers, key=lambda s: len(covers[s] & uncovered))
+            gained = covers[strategy] & uncovered
+            if not gained:
+                break
+            kept.append(strategy)
+            uncovered -= gained
+        if kept:
+            self.plans = [p for p in self.plans if p.strategy in kept]
+        return self.plans

@@ -1,0 +1,8 @@
+"""Per-figure experiment drivers (the harness behind ``benchmarks/``)."""
+
+from . import (code_size, fig01, fig09, fig10, fig11, fig12,
+               model_validation, sec53)
+from .common import FigureResult, Series
+
+__all__ = ["fig01", "fig09", "fig10", "fig11", "fig12", "sec53",
+           "code_size", "model_validation", "FigureResult", "Series"]

@@ -1,0 +1,81 @@
+"""Shared experiment-harness utilities: series containers and reporting."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from ..gpu import GPUSpec, TESLA_C2050
+from ..perfmodel import PerformanceModel
+
+
+@dataclasses.dataclass
+class Series:
+    """One line/bar group of a figure."""
+
+    label: str
+    x: List[str]
+    y: List[float]
+
+    def as_rows(self):
+        return list(zip(self.x, self.y))
+
+
+@dataclasses.dataclass
+class FigureResult:
+    """All series of one reproduced table/figure."""
+
+    figure: str
+    title: str
+    series: List[Series]
+    unit: str = ""
+    notes: str = ""
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(label)
+
+    def render(self) -> str:
+        """Align the series into the table the paper's figure plots."""
+        lines = [f"== {self.figure}: {self.title} "
+                 f"({self.unit}) ==" if self.unit else
+                 f"== {self.figure}: {self.title} =="]
+        labels = [s.label for s in self.series]
+        xs = self.series[0].x
+        width = max((len(str(x)) for x in xs), default=8)
+        header = " " * (width + 2) + "  ".join(f"{l:>12}" for l in labels)
+        lines.append(header)
+        for i, x in enumerate(xs):
+            row = f"{str(x):>{width}}  "
+            row += "  ".join(f"{s.y[i]:12.3f}" for s in self.series)
+            lines.append(row)
+        if self.notes:
+            lines.append(f"-- {self.notes}")
+        return "\n".join(lines)
+
+
+def model_for(spec: GPUSpec = TESLA_C2050) -> PerformanceModel:
+    return PerformanceModel(spec)
+
+
+def geometric_sizes(lo: int, hi: int, factor: int = 4) -> List[int]:
+    sizes = []
+    n = lo
+    while n <= hi:
+        sizes.append(n)
+        n *= factor
+    return sizes
+
+
+def size_label(n: int) -> str:
+    if n >= 1 << 20 and n % (1 << 20) == 0:
+        return f"{n >> 20}M"
+    if n >= 1024 and n % 1024 == 0:
+        return f"{n >> 10}K"
+    return str(n)
+
+
+def shape_label(rows: int, cols: int) -> str:
+    return f"{size_label(rows)}x{size_label(cols)}"

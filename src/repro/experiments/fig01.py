@@ -1,0 +1,45 @@
+"""Figure 1: CUBLAS transposed matrix-vector multiply over input shapes.
+
+"The benchmark performs consistently … over the input dimension range of
+1Kx4K to 128Kx32.  However, when input dimensions fall out of this range,
+the performance degrades rapidly by up to a factor of more than 20x."
+"""
+
+from __future__ import annotations
+
+from ..apps import tmv
+from ..baselines import cublas
+from ..gpu import GPUSpec, TESLA_C2050
+from .common import FigureResult, Series, model_for, shape_label
+
+
+def run(spec: GPUSpec = TESLA_C2050,
+        total_elements: int = 4 << 20) -> FigureResult:
+    model = model_for(spec)
+    baseline = cublas.sgemv_t(spec)
+    labels, gflops = [], []
+    for rows, cols in tmv.shape_sweep(total_elements):
+        params = {"rows": rows, "cols": cols, "vec": None}
+        seconds = baseline.predicted_seconds(model, params)
+        labels.append(shape_label(rows, cols))
+        gflops.append(2.0 * total_elements / seconds / 1e9)
+    return FigureResult(
+        figure="Figure 1",
+        title=f"CUBLAS TMV on {spec.name}, {total_elements >> 20}M elements",
+        series=[Series("CUBLAS sgemv-T", labels, gflops)],
+        unit="GFLOPS",
+        notes="Expect: low utilization at the left (few rows), an efficient "
+              "plateau in the middle, overhead collapse at the right "
+              "(tiny rows).")
+
+
+def regime_summary(result: FigureResult) -> dict:
+    """The three regimes' peak/edge numbers, for assertions and reports."""
+    y = result.series[0].y
+    return {
+        "left_edge": y[0],
+        "peak": max(y),
+        "right_edge": y[-1],
+        "peak_over_left": max(y) / y[0],
+        "peak_over_right": max(y) / y[-1],
+    }

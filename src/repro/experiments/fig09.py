@@ -1,0 +1,118 @@
+"""Figure 9: input portability — Adaptic speedup over hand-optimized CUDA
+for seven input sizes, eight input-sensitive benchmarks.
+
+Expected shape (§5.1): Adaptic ≥ ~1× everywhere; up to ~4.5× on Sdot and
+~6× on Scalar Product where the fixed baseline leaves the GPU idle;
+~1× flat on MonteCarlo, whose SDK version is already input portable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .. import apps
+from ..baselines import cublas, sdk
+from ..compiler import AdapticCompiler
+from ..gpu import GPUSpec, TESLA_C2050
+from .common import FigureResult, Series, model_for, shape_label, size_label
+
+#: Seven vector sizes for the CUBLAS reductions.
+VECTOR_SIZES = [1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+                1 << 20, 4 << 20]
+
+#: Seven (count, length) shapes for the batched SDK benchmarks.
+BATCH_SHAPES = [(2, 4 << 20), (4, 2 << 20), (8, 1 << 20), (16, 512 << 10),
+                (32, 256 << 10), (64, 128 << 10), (128, 64 << 10)]
+
+#: Seven grid shapes for the stencil benchmarks.
+GRID_SHAPES = [(256, 16384), (512, 8192), (1024, 4096), (2048, 2048),
+               (4096, 1024), (8192, 512), (16384, 256)]
+
+BENCHMARKS = ["isamax", "snrm2", "sasum", "sdot", "scalar_product",
+              "montecarlo", "ocean_fft", "convolution_separable"]
+
+
+def _cases(name: str):
+    """(label, adaptic params, baseline params) per input size."""
+    if name in ("isamax", "snrm2", "sasum", "sdot"):
+        for n in VECTOR_SIZES:
+            params = {"n": n, "r": 1}
+            yield size_label(n), params, params
+    elif name in ("scalar_product", "montecarlo"):
+        for count, length in BATCH_SHAPES:
+            label = shape_label(count, length)
+            if name == "scalar_product":
+                params = {"pairs": count, "n": length}
+                yield label, params, params
+            else:
+                params = apps.montecarlo.make_params(length, count)
+                yield label, params, params
+    else:
+        for width, height in GRID_SHAPES:
+            params = {"size": width * height, "width": width}
+            yield shape_label(width, height), params, params
+
+
+def _program(name: str):
+    if name in ("isamax", "snrm2", "sasum", "sdot"):
+        return apps.blas1.build(name)
+    if name == "scalar_product":
+        return apps.scalar_product.build()
+    if name == "montecarlo":
+        return apps.montecarlo.build()
+    if name == "ocean_fft":
+        return apps.stencil2d.build()
+    if name == "convolution_separable":
+        return apps.convolution.build()
+    raise KeyError(name)
+
+
+def _baseline(name: str, spec: GPUSpec):
+    if name in cublas.REDUCTIONS:
+        return cublas.REDUCTIONS[name](spec)
+    if name == "scalar_product":
+        return sdk.scalar_product(spec)
+    if name == "montecarlo":
+        return sdk.montecarlo(spec)
+    if name == "ocean_fft":
+        return sdk.ocean_fft(spec)
+    if name == "convolution_separable":
+        return sdk.convolution_separable(spec)
+    raise KeyError(name)
+
+
+def run_benchmark(name: str, spec: GPUSpec = TESLA_C2050) -> Series:
+    """Speedups (baseline time / Adaptic time) over the seven sizes."""
+    model = model_for(spec)
+    compiled = AdapticCompiler(spec).compile(_program(name))
+    baseline = _baseline(name, spec)
+    labels: List[str] = []
+    speedups: List[float] = []
+    for label, adaptic_params, base_params in _cases(name):
+        t_adaptic = compiled.predicted_seconds(adaptic_params,
+                                               include_transfers=False)
+        t_base = baseline.predicted_seconds(model, base_params)
+        labels.append(label)
+        speedups.append(t_base / t_adaptic)
+    return Series(name, labels, speedups)
+
+
+def run(spec: GPUSpec = TESLA_C2050,
+        benchmarks=None) -> Dict[str, FigureResult]:
+    results: Dict[str, FigureResult] = {}
+    for name in (benchmarks or BENCHMARKS):
+        series = run_benchmark(name, spec)
+        results[name] = FigureResult(
+            figure="Figure 9", title=f"{name} speedup vs hand-optimized",
+            series=[series], unit="x",
+            notes="speedup = hand-optimized time / Adaptic time")
+    return results
+
+
+def summary(results: Dict[str, FigureResult]) -> Dict[str, Dict[str, float]]:
+    out = {}
+    for name, result in results.items():
+        ys = result.series[0].y
+        out[name] = {"min": min(ys), "max": max(ys),
+                     "mean": sum(ys) / len(ys)}
+    return out

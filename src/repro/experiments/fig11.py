@@ -1,0 +1,94 @@
+"""Figure 11: BiCGSTAB — Adaptic vs CUBLAS, optimization breakdown.
+
+For each matrix size (512²…8192²) and GPU target (C2050, GTX 285), four
+cumulative configurations are compiled: input-unaware baseline,
++actor segmentation, +memory optimizations, +actor integration.  Each bar
+is one-iteration time of the CUBLAS decomposition divided by the Adaptic
+configuration's time.
+
+Expected shape (§5.2.2): integration dominates at small sizes (the kernel
+launches and intermediate traffic CUBLAS pays); segmentation and memory
+matter more as the gemv grows to dominate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..apps import bicgstab
+from ..baselines.cublas import bicgstab_step_seconds
+from ..compiler import AdapticCompiler, AdapticOptions
+from ..gpu import GPUSpec, GTX_285, TESLA_C2050
+from .common import FigureResult, Series, model_for
+
+SIZES = [512, 1024, 2048, 4096, 8192]
+TARGETS = {"C2050": TESLA_C2050, "GTX285": GTX_285}
+
+#: Cumulative configurations, in the figure's bar order.
+CONFIGS = [
+    ("Baseline", AdapticOptions(segmentation=False, memory=False,
+                                integration=False)),
+    ("Actor Segmentation", AdapticOptions(segmentation=True, memory=False,
+                                          integration=False)),
+    ("Memory Optimizations", AdapticOptions(segmentation=True, memory=True,
+                                            integration=False)),
+    ("Actor Integration", AdapticOptions(segmentation=True, memory=True,
+                                         integration=True)),
+]
+
+
+def _step_params(step, n: int) -> dict:
+    params = {"n": n}
+    if step.name.startswith("gemv"):
+        params["rows"] = n
+        params["vec"] = None
+    if "alpha" in step.program.params:
+        params["alpha"] = 1.0
+    if "omega" in step.program.params:
+        params["omega"] = 1.0
+    return params
+
+
+def adaptic_iteration_seconds(options: AdapticOptions, n: int,
+                              spec: GPUSpec) -> float:
+    compiler = AdapticCompiler(spec, options)
+    total = 0.0
+    for step in bicgstab.step_specs():
+        compiled = compiler.compile(step.program)
+        total += compiled.predicted_seconds(_step_params(step, n),
+                                            include_transfers=False)
+    return total
+
+
+def cublas_iteration_seconds(n: int, spec: GPUSpec) -> float:
+    model = model_for(spec)
+    total = 0.0
+    for step in bicgstab.step_specs():
+        total += bicgstab_step_seconds(step, model, _step_params(step, n),
+                                       spec)
+    return total
+
+
+def run(sizes: List[int] = None, targets: Dict[str, GPUSpec] = None
+        ) -> FigureResult:
+    sizes = sizes or SIZES
+    targets = targets or TARGETS
+    labels = [f"{n}x{n}/{t}" for n in sizes for t in targets]
+    series: List[Series] = []
+    base_times: Dict[str, float] = {}
+    for n in sizes:
+        for tname, spec in targets.items():
+            base_times[f"{n}x{n}/{tname}"] = cublas_iteration_seconds(
+                n, spec)
+    for cname, options in CONFIGS:
+        ys = []
+        for n in sizes:
+            for tname, spec in targets.items():
+                t = adaptic_iteration_seconds(options, n, spec)
+                ys.append(base_times[f"{n}x{n}/{tname}"] / t)
+        series.append(Series(cname, labels, ys))
+    return FigureResult(
+        figure="Figure 11",
+        title="BiCGSTAB speedup over CUBLAS implementation",
+        series=series, unit="x",
+        notes="bars are cumulative optimization configurations")

@@ -1,0 +1,60 @@
+"""§5.3: input-insensitive applications.
+
+"On average the performance of Adaptic's output is within 5% of the
+original CUDA versions" — these workloads are elementwise or fixed-shape,
+so the hand-tuned mapping is also what Adaptic picks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .. import apps
+from ..baselines import cublas, sdk
+from ..compiler import AdapticCompiler
+from ..gpu import GPUSpec, TESLA_C2050
+from .common import FigureResult, Series, model_for
+
+#: name -> (program factory, baseline factory, representative params)
+CASES = {
+    "blackscholes": (apps.insensitive.build_blackscholes, sdk.blackscholes,
+                     {"n": 1 << 20, "rate": 0.02, "vol": 0.3}),
+    "vectoradd": (apps.insensitive.build_vectoradd, sdk.vectoradd,
+                  {"n": 4 << 20}),
+    "quasirandom": (apps.insensitive.build_quasirandom, sdk.quasirandom,
+                    {"n": 4 << 20, "alpha": 0.6180339887}),
+    "dct8x8": (apps.insensitive.build_dct8x8, sdk.dct8x8,
+               {"k": 0, "blocks": 1 << 14}),
+    "histogram": (apps.insensitive.build_histogram, sdk.histogram,
+                  {"k": 0, "chunks": 1 << 14}),
+    "saxpy": (lambda: apps.blas1.build("saxpy"), cublas.saxpy,
+              {"n": 4 << 20, "r": 1, "alpha": 2.0}),
+    "scopy": (lambda: apps.blas1.build("scopy"), cublas.scopy,
+              {"n": 4 << 20, "r": 1}),
+    "sscal": (lambda: apps.blas1.build("sscal"), cublas.sscal,
+              {"n": 4 << 20, "r": 1, "alpha": 2.0}),
+    "sswap": (lambda: apps.blas1.build("sswap"), cublas.sswap,
+              {"n": 4 << 20, "r": 1}),
+    "srot": (lambda: apps.blas1.build("srot"), cublas.srot,
+             {"n": 4 << 20, "r": 1, "c": 0.8, "s": 0.6}),
+}
+
+
+def run(spec: GPUSpec = TESLA_C2050,
+        cases: Dict = None) -> FigureResult:
+    model = model_for(spec)
+    names, ratios = [], []
+    for name, (prog_fn, base_fn, params) in (cases or CASES).items():
+        compiled = AdapticCompiler(spec).compile(prog_fn())
+        t_adaptic = compiled.predicted_seconds(params,
+                                               include_transfers=False)
+        t_base = base_fn(spec).predicted_seconds(model, params)
+        names.append(name)
+        ratios.append(t_base / t_adaptic)
+    names.append("average")
+    ratios.append(sum(ratios) / len(ratios))
+    return FigureResult(
+        figure="Section 5.3",
+        title="Input-insensitive suite: Adaptic speedup vs hand-optimized",
+        series=[Series("speedup", names, ratios)], unit="x",
+        notes="expected ≈1.0 (paper: within ~5% on average)")

@@ -1,0 +1,26 @@
+"""GPU substrate: architecture specs, memory system, SIMT executor.
+
+This package is the reproduction's stand-in for real NVIDIA hardware: it
+executes kernels with CUDA semantics (blocks, warps, shared memory,
+``__syncthreads``) and instruments the memory system (coalescing, bank
+conflicts) that the paper's optimizations manipulate.
+"""
+
+from .arch import (GPUSpec, GTX_285, GTX_480, TARGETS,
+                   TESLA_C2050, get_target)
+from .device import Device, PCIE_BANDWIDTH_GBPS, TransferRecord
+from .executor import (BarrierDivergenceError, Executor, LaunchError,
+                       LaunchStats)
+from .kernel import SYNC, Dim3, Kernel, LaunchConfig, ThreadCtx
+from .memory import (DeviceArray, MemoryTracer, SharedMemory,
+                     bank_conflict_degree, coalesce_transactions)
+
+__all__ = [
+    "GPUSpec", "TESLA_C2050", "GTX_285", "GTX_480", "TARGETS",
+    "get_target",
+    "Device", "TransferRecord", "PCIE_BANDWIDTH_GBPS",
+    "Executor", "LaunchError", "LaunchStats", "BarrierDivergenceError",
+    "Kernel", "LaunchConfig", "ThreadCtx", "Dim3", "SYNC",
+    "DeviceArray", "SharedMemory", "MemoryTracer",
+    "coalesce_transactions", "bank_conflict_degree",
+]

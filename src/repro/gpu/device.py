@@ -1,0 +1,81 @@
+"""A convenience device façade: allocation, transfers, launches.
+
+Bundles the pieces a runtime needs — allocate device arrays, copy data in and
+out (with PCIe transfer-time accounting), and launch kernels functionally.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from .arch import GPUSpec, TESLA_C2050
+from .executor import Executor, LaunchStats
+from .kernel import Kernel, LaunchConfig
+from .memory import DeviceArray
+
+#: Host-device link bandwidth (PCIe 2.0 x16 effective), GB/s.
+PCIE_BANDWIDTH_GBPS = 6.0
+#: Fixed per-memcpy latency, microseconds.
+MEMCPY_LATENCY_US = 10.0
+
+
+@dataclasses.dataclass
+class TransferRecord:
+    """One host<->device memcpy, for transfer-time accounting."""
+
+    direction: str   # "h2d" | "d2h"
+    nbytes: int
+
+    @property
+    def seconds(self) -> float:
+        return (MEMCPY_LATENCY_US * 1e-6
+                + self.nbytes / (PCIE_BANDWIDTH_GBPS * 1e9))
+
+
+class Device:
+    """One simulated GPU: memory, an executor, and transfer accounting."""
+
+    def __init__(self, spec: GPUSpec = TESLA_C2050):
+        self.spec = spec
+        self.executor = Executor(spec)
+        self.transfers: list[TransferRecord] = []
+        self.launch_count = 0
+
+    # -- memory ----------------------------------------------------------
+    def to_device(self, data: np.ndarray, name: str = "buf") -> DeviceArray:
+        """Host-to-device copy; returns the device allocation."""
+        array = DeviceArray(np.asarray(data), name=name)
+        self.transfers.append(TransferRecord("h2d", array.data.nbytes))
+        return array
+
+    def alloc(self, shape, dtype=np.float32, name: str = "buf") -> DeviceArray:
+        """Device-side allocation without a host copy."""
+        return DeviceArray(np.zeros(shape, dtype=dtype), name=name)
+
+    def alloc_from(self, data: np.ndarray, name: str = "buf") -> DeviceArray:
+        """Device-side allocation initialized from data (no transfer cost)."""
+        return DeviceArray(np.asarray(data), name=name)
+
+    def to_host(self, array: DeviceArray) -> np.ndarray:
+        """Device-to-host copy."""
+        self.transfers.append(TransferRecord("d2h", array.data.nbytes))
+        return array.to_host()
+
+    # -- execution ---------------------------------------------------------
+    def launch(self, kernel: Kernel, grid, block, args: Dict[str, Any],
+               trace: bool = False) -> Optional[LaunchStats]:
+        self.launch_count += 1
+        return self.executor.launch(
+            kernel, LaunchConfig.of(grid, block), args, trace=trace)
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def transfer_seconds(self) -> float:
+        return sum(t.seconds for t in self.transfers)
+
+    def reset_accounting(self) -> None:
+        self.transfers.clear()
+        self.launch_count = 0

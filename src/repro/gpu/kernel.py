@@ -1,0 +1,180 @@
+"""Kernel and thread-context abstractions for the SIMT substrate.
+
+A :class:`Kernel` couples a per-thread body with the metadata the occupancy
+and performance models need (register pressure, shared-memory footprint).
+Bodies are plain Python callables taking a :class:`ThreadCtx`; bodies that
+use ``__syncthreads`` are *generator functions* that ``yield`` at each
+barrier, which lets the executor run all threads of a block to the barrier
+before any proceeds — the same semantics CUDA guarantees.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from .memory import AccessEvent, DeviceArray, MemoryTracer, SharedMemory
+
+#: Sentinel yielded by kernel bodies at ``__syncthreads()`` barriers.
+SYNC = "sync"
+
+
+@dataclasses.dataclass(frozen=True)
+class Dim3:
+    """CUDA-style launch dimension (x fastest-varying)."""
+
+    x: int
+    y: int = 1
+    z: int = 1
+
+    @property
+    def count(self) -> int:
+        return self.x * self.y * self.z
+
+    @staticmethod
+    def of(value) -> "Dim3":
+        if isinstance(value, Dim3):
+            return value
+        if isinstance(value, int):
+            return Dim3(value)
+        return Dim3(*value)
+
+
+class ThreadCtx:
+    """Per-thread execution context handed to kernel bodies.
+
+    Exposes CUDA's builtin coordinates plus traced accessors for global and
+    shared memory.  Kernel code should route all memory traffic through
+    :meth:`gload`/:meth:`gstore`/:meth:`sload`/:meth:`sstore` so the memory
+    instrumentation sees it.
+    """
+
+    __slots__ = ("tx", "ty", "tz", "bx", "by", "bz", "bdim", "gdim",
+                 "args", "shared", "_tracer", "_block_linear",
+                 "_thread_linear", "_smem")
+
+    def __init__(self, tx: int, ty: int, tz: int, bx: int, by: int, bz: int,
+                 bdim: Dim3, gdim: Dim3, args: Dict[str, Any],
+                 smem: SharedMemory, tracer: Optional[MemoryTracer],
+                 block_linear: int, thread_linear: int):
+        self.tx, self.ty, self.tz = tx, ty, tz
+        self.bx, self.by, self.bz = bx, by, bz
+        self.bdim = bdim
+        self.gdim = gdim
+        self.args = args
+        self.shared = smem.arrays
+        self._smem = smem
+        self._tracer = tracer
+        self._block_linear = block_linear
+        self._thread_linear = thread_linear
+
+    # -- CUDA-style coordinates ---------------------------------------
+    @property
+    def thread_linear(self) -> int:
+        return self._thread_linear
+
+    @property
+    def block_linear(self) -> int:
+        return self._block_linear
+
+    @property
+    def global_tid(self) -> int:
+        """Linear global thread id (bx * blockDim + tx for 1-D launches)."""
+        return self._block_linear * self.bdim.count + self._thread_linear
+
+    # -- global memory --------------------------------------------------
+    def gload(self, array: DeviceArray, index) -> Any:
+        index = int(index)
+        if self._tracer is not None:
+            self._tracer.record(
+                self._block_linear, self._thread_linear,
+                AccessEvent("global", array.address_of(index), False,
+                            array.itemsize))
+        return array.data[index]
+
+    def gstore(self, array: DeviceArray, index, value) -> None:
+        index = int(index)
+        if self._tracer is not None:
+            self._tracer.record(
+                self._block_linear, self._thread_linear,
+                AccessEvent("global", array.address_of(index), True,
+                            array.itemsize))
+        array.data[index] = value
+
+    # -- shared memory ---------------------------------------------------
+    def sload(self, name: str, index) -> Any:
+        index = int(index)
+        if self._tracer is not None:
+            self._tracer.record(
+                self._block_linear, self._thread_linear,
+                AccessEvent("shared", self._smem.word_index(name, index),
+                            False))
+        return self.shared[name][index]
+
+    def sstore(self, name: str, index, value) -> None:
+        index = int(index)
+        if self._tracer is not None:
+            self._tracer.record(
+                self._block_linear, self._thread_linear,
+                AccessEvent("shared", self._smem.word_index(name, index),
+                            True))
+        self.shared[name][index] = value
+
+
+#: Shared-memory request: name -> (element count, numpy dtype).
+SharedSpec = Dict[str, Tuple[int, Any]]
+
+
+@dataclasses.dataclass
+class Kernel:
+    """An executable GPU kernel plus its resource metadata.
+
+    ``shared_spec`` may be a static mapping or a callable
+    ``(args, block_dim) -> mapping`` for kernels whose shared footprint
+    depends on launch parameters (e.g. reduction kernels allocating one word
+    per thread).
+    """
+
+    name: str
+    body: Callable[[ThreadCtx], Any]
+    regs_per_thread: int = 16
+    shared_spec: Any = None
+    source: Optional[str] = None          # generated CUDA C, when available
+    meta: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def shared_for(self, args: Dict[str, Any], block: Dim3) -> SharedSpec:
+        if self.shared_spec is None:
+            return {}
+        if callable(self.shared_spec):
+            return self.shared_spec(args, block)
+        return dict(self.shared_spec)
+
+    def shared_bytes(self, args: Dict[str, Any], block: Dim3) -> int:
+        return sum(int(size) * np.dtype(dtype).itemsize
+                   for size, dtype in self.shared_for(args, block).values())
+
+
+@dataclasses.dataclass(frozen=True)
+class LaunchConfig:
+    """Grid/block shape for one kernel launch."""
+
+    grid: Dim3
+    block: Dim3
+
+    @staticmethod
+    def of(grid, block) -> "LaunchConfig":
+        return LaunchConfig(Dim3.of(grid), Dim3.of(block))
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid.count * self.block.count
+
+    @property
+    def blocks(self) -> int:
+        return self.grid.count
+
+    def warps_per_block(self, warp_size: int) -> int:
+        return math.ceil(self.block.count / warp_size)

@@ -1,0 +1,209 @@
+"""Device memory objects and memory-system instrumentation.
+
+The substrate models the two memories the paper's optimizations target:
+
+* **Global (off-chip) memory** — per-warp accesses are *coalesced* when all
+  addresses of a warp fall into aligned segments; each distinct segment
+  touched costs one transaction (Fermi: 128-byte segments).
+* **Shared (on-chip) memory** — banked; threads of a warp hitting distinct
+  addresses in the same bank serialize (*bank conflicts*).
+
+Kernels executed functionally can run with a :class:`MemoryTracer` attached;
+the tracer records every thread's access stream and, because all threads of a
+warp execute the same kernel code, the *k*-th access of each thread in a warp
+corresponds to the same static access point.  Grouping by (warp, position)
+reconstructs the per-warp transaction and bank-conflict counts that the
+performance model consumes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Notional alignment between distinct device allocations, so that segment
+#: arithmetic never merges accesses from different arrays.
+_ALLOC_ALIGN = 1 << 20
+
+
+class DeviceArray:
+    """A flat device-global allocation.
+
+    Wraps a 1-D numpy array and carries a notional base address so the
+    coalescing analysis can reason about byte addresses.  Multidimensional
+    data is stored flattened; layout decisions (the whole point of memory
+    restructuring) are explicit index arithmetic in kernel code.
+    """
+
+    _next_base = _ALLOC_ALIGN
+
+    def __init__(self, data: np.ndarray, name: str = "buf"):
+        self.data = np.ascontiguousarray(data).reshape(-1)
+        self.name = name
+        self.itemsize = self.data.itemsize
+        self.base = DeviceArray._next_base
+        DeviceArray._next_base += _ALLOC_ALIGN * (
+            1 + (self.data.nbytes // _ALLOC_ALIGN))
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def address_of(self, index: int) -> int:
+        return self.base + int(index) * self.itemsize
+
+    def to_host(self) -> np.ndarray:
+        """Copy device contents back to the host (device-to-host memcpy)."""
+        return self.data.copy()
+
+    def __repr__(self) -> str:
+        return f"DeviceArray({self.name!r}, n={len(self)}, dtype={self.dtype})"
+
+
+@dataclasses.dataclass
+class AccessEvent:
+    """One thread-level memory access recorded by the tracer."""
+
+    space: str        # "global" | "shared"
+    address: int      # byte address (global) or word index (shared)
+    is_store: bool
+    size: int = 4     # bytes accessed (element size)
+
+
+class MemoryTracer:
+    """Collects per-thread access streams for one kernel launch."""
+
+    def __init__(self) -> None:
+        # (block_linear, thread_linear) -> list of events
+        self.streams: Dict[Tuple[int, int], List[AccessEvent]] = {}
+
+    def record(self, block: int, thread: int, event: AccessEvent) -> None:
+        self.streams.setdefault((block, thread), []).append(event)
+
+    # ------------------------------------------------------------------
+    def warp_access_slots(
+        self, warp_size: int, space: str
+    ) -> Iterable[List[AccessEvent]]:
+        """Yield, for every (warp, access-position), the events of the warp.
+
+        Threads in a warp are the ``warp_size`` consecutive thread-linear ids
+        of the same block.  Positions where only a subset of the warp issued
+        an access (divergence) yield shorter lists.
+        """
+        by_warp: Dict[Tuple[int, int], List[List[AccessEvent]]] = {}
+        for (block, thread), events in self.streams.items():
+            filtered = [e for e in events if e.space == space]
+            key = (block, thread // warp_size)
+            by_warp.setdefault(key, []).append(filtered)
+        for streams in by_warp.values():
+            depth = max(len(s) for s in streams)
+            for pos in range(depth):
+                slot = [s[pos] for s in streams if pos < len(s)]
+                if slot:
+                    yield slot
+
+    # ------------------------------------------------------------------
+    def global_transactions(self, warp_size: int, segment_bytes: int) -> int:
+        """Total global-memory transactions across the launch."""
+        total = 0
+        for slot in self.warp_access_slots(warp_size, "global"):
+            total += coalesce_transactions(
+                [e.address for e in slot], segment_bytes)
+        return total
+
+    def global_requests(self, warp_size: int) -> int:
+        """Number of per-warp global access slots (memory instructions)."""
+        return sum(1 for _ in self.warp_access_slots(warp_size, "global"))
+
+    def coalesced_fraction(self, warp_size: int, segment_bytes: int) -> float:
+        """Fraction of warp-level accesses with no wasted transactions.
+
+        A slot is coalesced when the transactions it needs equal the
+        minimum for its total byte footprint — e.g. 32 consecutive
+        float64 loads take two 128-byte transactions but waste nothing.
+        """
+        slots = list(self.warp_access_slots(warp_size, "global"))
+        if not slots:
+            return 1.0
+        coalesced = 0
+        for slot in slots:
+            txns = coalesce_transactions([e.address for e in slot],
+                                         segment_bytes)
+            footprint = sum(e.size for e in slot)
+            minimal = max(1, -(-footprint // segment_bytes))
+            if txns <= minimal:
+                coalesced += 1
+        return coalesced / len(slots)
+
+    def shared_bank_conflicts(self, warp_size: int, banks: int,
+                              word_bytes: int = 4) -> int:
+        """Total *extra* shared-memory cycles lost to bank conflicts."""
+        total = 0
+        for slot in self.warp_access_slots(warp_size, "shared"):
+            degree = bank_conflict_degree(
+                [e.address for e in slot], banks, word_bytes)
+            total += degree - 1
+        return total
+
+
+def coalesce_transactions(addresses: Sequence[int], segment_bytes: int) -> int:
+    """Number of memory transactions needed to serve a warp's addresses.
+
+    Models the Fermi/GT200 coalescer: the addresses are mapped to aligned
+    ``segment_bytes`` segments and each distinct segment costs one
+    transaction.
+    """
+    if not addresses:
+        return 0
+    segments = {addr // segment_bytes for addr in addresses}
+    return len(segments)
+
+
+def bank_conflict_degree(addresses: Sequence[int], banks: int,
+                         word_bytes: int = 4) -> int:
+    """Serialization degree of one warp-level shared-memory access.
+
+    ``addresses`` are word indices into shared memory.  Accesses by several
+    threads to the *same* word broadcast (no conflict); distinct words in the
+    same bank serialize.  Returns the maximum number of distinct words mapped
+    to any single bank (1 = conflict-free).
+    """
+    if not addresses:
+        return 1
+    per_bank: Dict[int, set] = {}
+    for addr in addresses:
+        word = addr
+        per_bank.setdefault(word % banks, set()).add(word)
+    return max(len(words) for words in per_bank.values())
+
+
+class SharedMemory:
+    """Per-block shared memory: named arrays carved out of one allocation."""
+
+    def __init__(self, arrays: Optional[Dict[str, Tuple[int, np.dtype]]] = None):
+        self.arrays: Dict[str, np.ndarray] = {}
+        self._offsets: Dict[str, int] = {}
+        self.total_words = 0
+        if arrays:
+            for name, (size, dtype) in arrays.items():
+                self.allocate(name, size, dtype)
+
+    def allocate(self, name: str, size: int, dtype=np.float32) -> np.ndarray:
+        array = np.zeros(size, dtype=dtype)
+        self.arrays[name] = array
+        self._offsets[name] = self.total_words
+        self.total_words += size
+        return array
+
+    def word_index(self, name: str, index: int) -> int:
+        """Global word index of ``name[index]`` for bank-conflict analysis."""
+        return self._offsets[name] + int(index)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self.arrays.values())

@@ -1,0 +1,27 @@
+"""Work-function IR: nodes, frontend, interpreter, analyses, patterns."""
+
+from . import nodes
+from .analysis import (affine_in, expr_equal, linear_recurrences,
+                       loop_carried_vars, symbolic_pop_count,
+                       symbolic_push_count)
+from .frontend import FrontendError, lift, lift_code
+from .interp import StreamUnderflow, WorkInterpreter, run_work
+from .patterns import (ArgReducePattern, Classification, MapPattern,
+                       ReductionPattern, StencilPattern, TransferPattern,
+                       classify, match_argreduce, match_map, match_reduction,
+                       match_stencil, match_transfer, parallelizable_loop)
+from .rates import ONE, ZERO, RateExpr, parse_expr
+from .transforms import substitute_recurrences
+
+__all__ = [
+    "nodes", "lift", "lift_code", "FrontendError",
+    "WorkInterpreter", "run_work", "StreamUnderflow",
+    "RateExpr", "parse_expr", "ZERO", "ONE",
+    "symbolic_pop_count", "symbolic_push_count", "loop_carried_vars",
+    "linear_recurrences", "affine_in", "expr_equal",
+    "classify", "Classification",
+    "ReductionPattern", "ArgReducePattern", "MapPattern", "StencilPattern",
+    "TransferPattern",
+    "match_reduction", "match_argreduce", "match_map", "match_stencil",
+    "match_transfer", "parallelizable_loop", "substitute_recurrences",
+]

@@ -1,0 +1,236 @@
+"""Lift restricted-Python work functions into the IR.
+
+Actor work functions are written as ordinary ``def``s in a small Python
+subset — counted ``for`` loops, ``if``/``else``, arithmetic, and the stream
+intrinsics ``pop()``, ``peek(k)``, ``push(x)``:
+
+    def work(n):
+        acc = 0.0
+        for i in range(n):
+            acc = acc + pop()
+        push(acc)
+
+The function is *never called*; :func:`lift` parses its source with
+:mod:`ast` and produces a :class:`~repro.ir.nodes.WorkFunction`.  Anything
+outside the subset raises :class:`FrontendError` with a precise location.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import List
+
+from . import nodes as N
+
+#: Calls treated as stream operations rather than intrinsics.
+_STREAM_FNS = {"pop", "peek", "push"}
+
+#: Pure intrinsic calls permitted in expressions.
+_ALLOWED_CALLS = set(N.INTRINSICS) | {"select"}
+
+_BINOPS = {
+    ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/",
+    ast.FloorDiv: "//", ast.Mod: "%", ast.Pow: "**",
+}
+_CMPOPS = {
+    ast.Lt: "<", ast.LtE: "<=", ast.Gt: ">", ast.GtE: ">=",
+    ast.Eq: "==", ast.NotEq: "!=",
+}
+_UNARYOPS = {ast.USub: "-", ast.Not: "not", ast.UAdd: "+"}
+
+
+class FrontendError(SyntaxError):
+    """A work function used Python outside the supported subset."""
+
+
+def lift(func) -> N.WorkFunction:
+    """Lift a Python function into a :class:`WorkFunction` IR."""
+    source = textwrap.dedent(inspect.getsource(func))
+    tree = ast.parse(source)
+    fdefs = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+    if len(fdefs) != 1:
+        raise FrontendError("expected exactly one function definition")
+    return lift_source(fdefs[0], source)
+
+
+def lift_code(source: str, name: str = None) -> N.WorkFunction:
+    """Lift work-function source text (used by tests and generated actors)."""
+    tree = ast.parse(textwrap.dedent(source))
+    fdefs = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+    if name is not None:
+        fdefs = [f for f in fdefs if f.name == name]
+    if len(fdefs) != 1:
+        raise FrontendError("expected exactly one function definition")
+    return lift_source(fdefs[0], source)
+
+
+def lift_source(fdef: ast.FunctionDef, source: str) -> N.WorkFunction:
+    params = tuple(arg.arg for arg in fdef.args.args)
+    if (fdef.args.vararg or fdef.args.kwarg or fdef.args.kwonlyargs
+            or fdef.args.defaults):
+        raise FrontendError(
+            f"work function {fdef.name!r}: only plain positional parameters "
+            "are supported")
+    body = _lift_block(fdef.body, fdef.name)
+    return N.WorkFunction(name=fdef.name, params=params, body=body,
+                          source=source)
+
+
+# ---------------------------------------------------------------------------
+
+def _err(node: ast.AST, fname: str, message: str) -> FrontendError:
+    line = getattr(node, "lineno", "?")
+    return FrontendError(f"work function {fname!r}, line {line}: {message}")
+
+
+def _lift_block(stmts, fname: str) -> List[N.Stmt]:
+    out: List[N.Stmt] = []
+    for stmt in stmts:
+        lifted = _lift_stmt(stmt, fname)
+        if lifted is not None:
+            out.append(lifted)
+    return out
+
+
+def _lift_stmt(stmt: ast.stmt, fname: str):
+    if isinstance(stmt, ast.Assign):
+        if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
+            raise _err(stmt, fname, "only single-name assignment targets")
+        return N.Assign(stmt.targets[0].id, _lift_expr(stmt.value, fname))
+
+    if isinstance(stmt, ast.AugAssign):
+        if not isinstance(stmt.target, ast.Name):
+            raise _err(stmt, fname, "only single-name assignment targets")
+        op = _BINOPS.get(type(stmt.op))
+        if op is None:
+            raise _err(stmt, fname,
+                       f"unsupported augmented op {type(stmt.op).__name__}")
+        name = stmt.target.id
+        return N.Assign(name, N.BinOp(op, N.Var(name),
+                                      _lift_expr(stmt.value, fname)))
+
+    if isinstance(stmt, ast.Expr):
+        call = stmt.value
+        if (isinstance(call, ast.Call) and isinstance(call.func, ast.Name)
+                and call.func.id == "push"):
+            if len(call.args) != 1:
+                raise _err(stmt, fname, "push takes exactly one argument")
+            return N.Push(_lift_expr(call.args[0], fname))
+        if isinstance(call, ast.Constant) and isinstance(call.value, str):
+            return None  # docstring
+        raise _err(stmt, fname,
+                   "expression statements must be push(...) calls")
+
+    if isinstance(stmt, ast.For):
+        if not isinstance(stmt.target, ast.Name):
+            raise _err(stmt, fname, "loop variable must be a simple name")
+        rng = stmt.iter
+        if not (isinstance(rng, ast.Call) and isinstance(rng.func, ast.Name)
+                and rng.func.id == "range" and 1 <= len(rng.args) <= 2):
+            raise _err(stmt, fname,
+                       "loops must iterate over range(n) or range(a, b)")
+        if stmt.orelse:
+            raise _err(stmt, fname, "for/else is not supported")
+        if len(rng.args) == 1:
+            start, stop = N.Const(0), _lift_expr(rng.args[0], fname)
+        else:
+            start = _lift_expr(rng.args[0], fname)
+            stop = _lift_expr(rng.args[1], fname)
+        return N.For(stmt.target.id, start, stop,
+                     _lift_block(stmt.body, fname))
+
+    if isinstance(stmt, ast.If):
+        return N.If(_lift_expr(stmt.test, fname),
+                    _lift_block(stmt.body, fname),
+                    _lift_block(stmt.orelse, fname))
+
+    if isinstance(stmt, ast.Pass):
+        return None
+
+    raise _err(stmt, fname,
+               f"unsupported statement {type(stmt).__name__} (the work-"
+               "function subset allows assignment, for-range, if, push)")
+
+
+def _lift_expr(expr: ast.expr, fname: str) -> N.Expr:
+    if isinstance(expr, ast.Constant):
+        if isinstance(expr.value, (int, float, bool)):
+            return N.Const(expr.value)
+        raise _err(expr, fname, f"unsupported constant {expr.value!r}")
+
+    if isinstance(expr, ast.Name):
+        return N.Var(expr.id)
+
+    if isinstance(expr, ast.BinOp):
+        op = _BINOPS.get(type(expr.op))
+        if op is None:
+            raise _err(expr, fname,
+                       f"unsupported operator {type(expr.op).__name__}")
+        return N.BinOp(op, _lift_expr(expr.left, fname),
+                       _lift_expr(expr.right, fname))
+
+    if isinstance(expr, ast.UnaryOp):
+        op = _UNARYOPS.get(type(expr.op))
+        if op is None:
+            raise _err(expr, fname,
+                       f"unsupported unary {type(expr.op).__name__}")
+        operand = _lift_expr(expr.operand, fname)
+        if op == "+":
+            return operand
+        return N.UnaryOp(op, operand)
+
+    if isinstance(expr, ast.Compare):
+        if len(expr.ops) != 1 or len(expr.comparators) != 1:
+            raise _err(expr, fname, "chained comparisons are not supported")
+        op = _CMPOPS.get(type(expr.ops[0]))
+        if op is None:
+            raise _err(expr, fname,
+                       f"unsupported comparison {type(expr.ops[0]).__name__}")
+        return N.BinOp(op, _lift_expr(expr.left, fname),
+                       _lift_expr(expr.comparators[0], fname))
+
+    if isinstance(expr, ast.BoolOp):
+        op = "and" if isinstance(expr.op, ast.And) else "or"
+        result = _lift_expr(expr.values[0], fname)
+        for value in expr.values[1:]:
+            result = N.BinOp(op, result, _lift_expr(value, fname))
+        return result
+
+    if isinstance(expr, ast.Subscript):
+        if not isinstance(expr.value, ast.Name):
+            raise _err(expr, fname, "only named auxiliary arrays can be "
+                       "indexed")
+        if isinstance(expr.slice, ast.Slice):
+            raise _err(expr, fname, "array slices are not supported")
+        return N.Index(expr.value.id, _lift_expr(expr.slice, fname))
+
+    if isinstance(expr, ast.IfExp):
+        return N.Call("select", [_lift_expr(expr.test, fname),
+                                 _lift_expr(expr.body, fname),
+                                 _lift_expr(expr.orelse, fname)])
+
+    if isinstance(expr, ast.Call):
+        if not isinstance(expr.func, ast.Name):
+            raise _err(expr, fname, "only direct calls to named intrinsics")
+        fn = expr.func.id
+        args = [_lift_expr(a, fname) for a in expr.args]
+        if fn == "pop":
+            if args:
+                raise _err(expr, fname, "pop takes no arguments")
+            return N.Pop()
+        if fn == "peek":
+            if len(args) != 1:
+                raise _err(expr, fname, "peek takes exactly one argument")
+            return N.Peek(args[0])
+        if fn == "push":
+            raise _err(expr, fname, "push is a statement, not an expression")
+        if fn in _ALLOWED_CALLS:
+            return N.Call(fn, args)
+        raise _err(expr, fname,
+                   f"call to {fn!r} is not a supported intrinsic "
+                   f"(allowed: {sorted(_ALLOWED_CALLS)})")
+
+    raise _err(expr, fname,
+               f"unsupported expression {type(expr).__name__}")

@@ -1,0 +1,273 @@
+"""IR node definitions for StreamIt actor work functions.
+
+Work functions are written in a restricted Python subset and lifted (via the
+:mod:`ast` module, see :mod:`repro.ir.frontend`) into this small typed IR.
+The IR is what every compiler analysis and code generator operates on: it has
+explicit ``pop``/``peek``/``push`` stream operations (the SDF interface),
+counted ``for`` loops, and side-effect-free expressions, which is exactly the
+structure that makes the paper's pattern matching (reduction detection,
+neighboring-access detection, transfer actors) and dependence analysis
+tractable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Optional, Tuple, Union
+
+
+class Node:
+    """Base class for all IR nodes."""
+
+    def children(self) -> Iterator["Node"]:
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Node):
+                        yield item
+
+    def walk(self) -> Iterator["Node"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expr(Node):
+    """Base class for expressions (side-effect-free except Pop)."""
+
+
+@dataclasses.dataclass
+class Const(Expr):
+    value: Union[int, float, bool]
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclasses.dataclass
+class Var(Expr):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclasses.dataclass
+class BinOp(Expr):
+    op: str                      # + - * / // % ** < <= > >= == != and or
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclasses.dataclass
+class UnaryOp(Expr):
+    op: str                      # - not
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+@dataclasses.dataclass
+class Call(Expr):
+    """Call to a whitelisted pure intrinsic (sqrt, exp, min, max, abs, ...)."""
+
+    fn: str
+    args: List[Expr]
+
+    def __str__(self) -> str:
+        return f"{self.fn}({', '.join(map(str, self.args))})"
+
+
+@dataclasses.dataclass
+class Pop(Expr):
+    """Destructive read of the next element from the input stream."""
+
+    def __str__(self) -> str:
+        return "pop()"
+
+
+@dataclasses.dataclass
+class Peek(Expr):
+    """Non-destructive read at ``offset`` from the current stream position."""
+
+    offset: Expr
+
+    def __str__(self) -> str:
+        return f"peek({self.offset})"
+
+
+@dataclasses.dataclass
+class Index(Expr):
+    """Read-only access to a named auxiliary array (``vec[i]``).
+
+    Auxiliary arrays are init-time filter state in StreamIt terms: bound
+    once per execution, never written by work functions.
+    """
+
+    array: str
+    index: Expr
+
+    def __str__(self) -> str:
+        return f"{self.array}[{self.index}]"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclasses.dataclass
+class Assign(Stmt):
+    target: str
+    value: Expr
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.value}"
+
+
+@dataclasses.dataclass
+class Push(Stmt):
+    """Append ``value`` to the output stream."""
+
+    value: Expr
+
+    def __str__(self) -> str:
+        return f"push({self.value})"
+
+
+@dataclasses.dataclass
+class For(Stmt):
+    """Counted loop ``for var in range(start, stop)`` (step 1)."""
+
+    var: str
+    start: Expr
+    stop: Expr
+    body: List[Stmt]
+
+    def __str__(self) -> str:
+        inner = "; ".join(str(s) for s in self.body)
+        return f"for {self.var} in range({self.start}, {self.stop}): {inner}"
+
+    def trip_count(self) -> Expr:
+        if isinstance(self.start, Const) and self.start.value == 0:
+            return self.stop
+        return BinOp("-", self.stop, self.start)
+
+
+@dataclasses.dataclass
+class If(Stmt):
+    cond: Expr
+    then: List[Stmt]
+    orelse: List[Stmt] = dataclasses.field(default_factory=list)
+
+    def __str__(self) -> str:
+        text = f"if {self.cond}: " + "; ".join(str(s) for s in self.then)
+        if self.orelse:
+            text += " else: " + "; ".join(str(s) for s in self.orelse)
+        return text
+
+
+@dataclasses.dataclass
+class WorkFunction(Node):
+    """A complete actor work function: parameters plus a statement body."""
+
+    name: str
+    params: Tuple[str, ...]
+    body: List[Stmt]
+    source: Optional[str] = None
+
+    def __str__(self) -> str:
+        lines = [f"work {self.name}({', '.join(self.params)}):"]
+        lines += [f"  {stmt}" for stmt in self.body]
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Construction / traversal helpers
+# ---------------------------------------------------------------------------
+
+#: Intrinsics allowed in work functions, with their Python implementations.
+INTRINSICS = {
+    "sqrt": lambda x: x ** 0.5,
+    "exp": None, "log": None, "sin": None, "cos": None,
+    "abs": abs, "min": min, "max": max,
+    "floor": None, "int": int, "float": float,
+}
+
+ASSOCIATIVE_COMMUTATIVE_OPS = {"+", "*"}
+ASSOCIATIVE_CALLS = {"min", "max"}
+
+
+def const(value) -> Const:
+    return Const(value)
+
+
+def var(name: str) -> Var:
+    return Var(name)
+
+
+def add(a: Expr, b: Expr) -> Expr:
+    return BinOp("+", a, b)
+
+
+def mul(a: Expr, b: Expr) -> Expr:
+    return BinOp("*", a, b)
+
+
+def count_nodes(node: Node, kind) -> int:
+    """Number of nodes of type ``kind`` in the subtree (static count)."""
+    return sum(1 for n in node.walk() if isinstance(n, kind))
+
+
+def free_vars(expr: Expr) -> set:
+    """Names read by an expression."""
+    return {n.name for n in expr.walk() if isinstance(n, Var)}
+
+
+def substitute(expr: Expr, bindings: dict) -> Expr:
+    """Return ``expr`` with :class:`Var` nodes replaced per ``bindings``.
+
+    Binding values may be IR expressions or Python numbers.
+    """
+    if isinstance(expr, Var):
+        if expr.name in bindings:
+            repl = bindings[expr.name]
+            if isinstance(repl, Expr):
+                return repl
+            return Const(repl)
+        return Var(expr.name)
+    if isinstance(expr, Const):
+        return Const(expr.value)
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, substitute(expr.left, bindings),
+                     substitute(expr.right, bindings))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, substitute(expr.operand, bindings))
+    if isinstance(expr, Call):
+        return Call(expr.fn, [substitute(a, bindings) for a in expr.args])
+    if isinstance(expr, Peek):
+        return Peek(substitute(expr.offset, bindings))
+    if isinstance(expr, Pop):
+        return Pop()
+    if isinstance(expr, Index):
+        return Index(expr.array, substitute(expr.index, bindings))
+    raise TypeError(f"cannot substitute into {type(expr).__name__}")
+
+
+def index_arrays(node: Node) -> set:
+    """Names of auxiliary arrays referenced by :class:`Index` nodes."""
+    return {n.array for n in node.walk() if isinstance(n, Index)}

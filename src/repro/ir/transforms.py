@@ -1,0 +1,131 @@
+"""IR transformations.
+
+Induction-variable substitution (§4.2.2): "intra-actor parallelization
+technique breaks this dependence by changing the original accumulation
+construct to ``count = initial_value + induction_variable * C`` and making
+all iterations independent.  In general, this optimization is able to
+remove all linear recurrence constructs and replace them by independent
+induction variable-based counterparts."
+
+:func:`substitute_recurrences` rewrites a work function whose main loop
+carries only linear recurrences into an equivalent loop with no carried
+dependences; the compiler then re-classifies it (typically as a map) and
+parallelizes it across threads.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional
+
+from . import nodes as N
+from .analysis import linear_recurrences, loop_carried_vars
+from .patterns import _single_toplevel_for
+
+
+def substitute_recurrences(
+        work: N.WorkFunction) -> Optional[N.WorkFunction]:
+    """Break the main loop's linear recurrences by closed-form substitution.
+
+    Returns the rewritten work function, or ``None`` when the loop has
+    carried dependences that are not linear recurrences (a true serial
+    loop) or has no recurrences to break.
+    """
+    pre, loop, post = _single_toplevel_for(work.body)
+    if loop is None:
+        return None
+    carried = loop_carried_vars(loop)
+    if not carried:
+        return None  # nothing to do; already parallel
+    recurrences = linear_recurrences(loop)
+    if not (carried <= set(recurrences)):
+        return None  # irreducible dependence
+
+    # Initial values must be loop-invariant assignments in the prologue.
+    inits: Dict[str, N.Expr] = {}
+    for stmt in pre:
+        if isinstance(stmt, N.Assign):
+            inits[stmt.target] = stmt.value
+    if not all(var in inits for var in carried):
+        return None
+
+    new_body: List[N.Stmt] = []
+    # Values *entering* iteration i: init op (i * step);
+    # values *after* the update executes: init op ((i+1) * step).
+    before_bindings: Dict[str, N.Expr] = {}
+    after_bindings: Dict[str, N.Expr] = {}
+    iter_var = N.Var(loop.var)
+    next_iter = N.BinOp("+", N.Var(loop.var), N.Const(1))
+    for var, rec in recurrences.items():
+        if var not in carried:
+            continue
+        init = copy.deepcopy(inits[var])
+        before_bindings[var] = rec.closed_form(init, loop.var)
+        after = N.BinOp(rec.op, copy.deepcopy(init),
+                        N.BinOp("*", next_iter, copy.deepcopy(rec.step)))
+        after_bindings[var] = after
+    _ = iter_var
+
+    seen_update = {var: False for var in before_bindings}
+    for stmt in loop.body:
+        if (isinstance(stmt, N.Assign) and stmt.target in before_bindings
+                and not seen_update[stmt.target]):
+            # The recurrence update itself: drop it.
+            seen_update[stmt.target] = True
+            continue
+        bindings = {var: (after_bindings[var] if seen_update[var]
+                          else before_bindings[var])
+                    for var in before_bindings}
+        new_body.append(_subst_stmt(stmt, bindings))
+
+    # Post-loop uses see the final value: init op (trip * step).
+    final_bindings: Dict[str, N.Expr] = {}
+    for var, rec in recurrences.items():
+        if var in before_bindings:
+            trip = copy.deepcopy(loop.trip_count())
+            final_bindings[var] = N.BinOp(
+                rec.op, copy.deepcopy(inits[var]),
+                N.BinOp("*", trip, copy.deepcopy(rec.step)))
+    new_post = [_subst_stmt(stmt, final_bindings) for stmt in post]
+
+    # Prologue assignments that only fed the removed recurrences can stay;
+    # they are dead but harmless (and other inits may still be live).
+    new_pre = [copy.deepcopy(stmt) for stmt in pre
+               if not (isinstance(stmt, N.Assign)
+                       and stmt.target in before_bindings
+                       and not _used_in(stmt.target, new_body + new_post))]
+
+    rewritten = N.WorkFunction(
+        name=f"{work.name}_ivsub",
+        params=work.params,
+        body=new_pre + [N.For(loop.var, copy.deepcopy(loop.start),
+                              copy.deepcopy(loop.stop), new_body)]
+        + new_post,
+        source=work.source)
+    return rewritten
+
+
+def _used_in(name: str, stmts: List[N.Stmt]) -> bool:
+    for stmt in stmts:
+        for node in stmt.walk():
+            if isinstance(node, N.Var) and node.name == name:
+                return True
+    return False
+
+
+def _subst_stmt(stmt: N.Stmt, bindings: Dict[str, N.Expr]) -> N.Stmt:
+    if isinstance(stmt, N.Assign):
+        return N.Assign(stmt.target,
+                        N.substitute(copy.deepcopy(stmt.value), bindings))
+    if isinstance(stmt, N.Push):
+        return N.Push(N.substitute(copy.deepcopy(stmt.value), bindings))
+    if isinstance(stmt, N.If):
+        return N.If(N.substitute(copy.deepcopy(stmt.cond), bindings),
+                    [_subst_stmt(s, bindings) for s in stmt.then],
+                    [_subst_stmt(s, bindings) for s in stmt.orelse])
+    if isinstance(stmt, N.For):
+        return N.For(stmt.var,
+                     N.substitute(copy.deepcopy(stmt.start), bindings),
+                     N.substitute(copy.deepcopy(stmt.stop), bindings),
+                     [_subst_stmt(s, bindings) for s in stmt.body])
+    raise TypeError(type(stmt).__name__)

@@ -1,0 +1,13 @@
+"""Analytic performance model and break-even (variant selection) machinery."""
+
+from .breakeven import (DecisionTable, Subrange, Variant, argmin_variant,
+                        geometric_points, sweep)
+from .model import (BLOCK_SCHED_OVERHEAD_CYCLES, KernelCategory,
+                    KernelEstimate, KernelWorkload, PerformanceModel)
+
+__all__ = [
+    "PerformanceModel", "KernelWorkload", "KernelEstimate", "KernelCategory",
+    "BLOCK_SCHED_OVERHEAD_CYCLES",
+    "Variant", "Subrange", "DecisionTable", "sweep", "argmin_variant",
+    "geometric_points",
+]

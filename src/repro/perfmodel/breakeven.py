@@ -1,0 +1,113 @@
+"""Break-even analysis between kernel variants over input ranges.
+
+Adaptic "divides up operating input ranges to subranges if necessary, and
+applies different optimizations to each subrange" (§3).  This module does the
+dividing: given the candidate variants (each with a model-predicted time as a
+function of the input) and the user-declared range of interest ``[a, b]``,
+it samples the range, picks the fastest variant per point, and merges
+contiguous points into subranges.  Variants that win nowhere are dropped —
+they are never generated, which is what keeps the output binary-size increase
+moderate (§5.1 reports 1.4× average).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Dict, Generic, Hashable, List, Sequence, TypeVar
+
+InputT = TypeVar("InputT", bound=Hashable)
+
+
+@dataclasses.dataclass
+class Variant(Generic[InputT]):
+    """One candidate implementation with a predicted cost function."""
+
+    name: str
+    time_fn: Callable[[InputT], float]
+    payload: object = None
+
+    def time(self, point: InputT) -> float:
+        return self.time_fn(point)
+
+
+@dataclasses.dataclass
+class Subrange(Generic[InputT]):
+    """A maximal run of sampled points won by one variant."""
+
+    lo: InputT
+    hi: InputT
+    variant: str
+
+
+@dataclasses.dataclass
+class DecisionTable(Generic[InputT]):
+    """Result of a break-even sweep."""
+
+    points: List[InputT]
+    choices: Dict[InputT, str]
+    times: Dict[InputT, Dict[str, float]]
+    subranges: List[Subrange]
+
+    @property
+    def winners(self) -> List[str]:
+        """Variant names that win at least one subrange, in first-win order."""
+        seen: List[str] = []
+        for sub in self.subranges:
+            if sub.variant not in seen:
+                seen.append(sub.variant)
+        return seen
+
+    def best_time(self, point: InputT) -> float:
+        return min(self.times[point].values())
+
+
+def geometric_points(lo: float, hi: float, samples: int) -> List[int]:
+    """Geometrically spaced integer sample points covering ``[lo, hi]``."""
+    if lo <= 0 or hi < lo:
+        raise ValueError(f"invalid range [{lo}, {hi}]")
+    if samples < 2 or lo == hi:
+        return [int(lo)] if lo == hi else [int(lo), int(hi)]
+    ratio = (hi / lo) ** (1.0 / (samples - 1))
+    points = sorted({int(round(lo * ratio ** k)) for k in range(samples)})
+    points[0], points[-1] = int(lo), int(hi)
+    return points
+
+
+def sweep(variants: Sequence[Variant],
+          points: Sequence[InputT]) -> DecisionTable:
+    """Pick the fastest variant at each point and merge into subranges."""
+    if not variants:
+        raise ValueError("no variants to choose from")
+    choices: Dict[InputT, str] = {}
+    times: Dict[InputT, Dict[str, float]] = {}
+    for point in points:
+        per = {v.name: v.time(point) for v in variants}
+        times[point] = per
+        finite = {name: t for name, t in per.items() if math.isfinite(t)}
+        if not finite:
+            raise ValueError(f"no variant can run at input {point!r}")
+        choices[point] = min(finite, key=finite.get)
+
+    subranges: List[Subrange] = []
+    for point in points:
+        name = choices[point]
+        if subranges and subranges[-1].variant == name:
+            subranges[-1].hi = point
+        else:
+            subranges.append(Subrange(lo=point, hi=point, variant=name))
+    return DecisionTable(points=list(points), choices=choices, times=times,
+                         subranges=subranges)
+
+
+def argmin_variant(variants: Sequence[Variant], point) -> Variant:
+    """Runtime dispatch: evaluate the model at the actual input, pick best."""
+    best = None
+    best_time = math.inf
+    for variant in variants:
+        t = variant.time(point)
+        if t < best_time:
+            best, best_time = variant, t
+    if best is None:
+        raise ValueError(f"no variant can run at input {point!r}")
+    return best

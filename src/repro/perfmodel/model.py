@@ -1,0 +1,236 @@
+"""Analytic GPU performance model (Hong & Kim, ISCA'09 style).
+
+Adaptic makes all of its optimization decisions with an "enhanced version of
+the performance model introduced in [Hong & Kim]" (paper §3).  The model
+classifies each kernel as **memory-bound**, **computation-bound**, or
+**latency-bound** and predicts execution cycles from per-warp instruction and
+memory-transaction counts:
+
+* ``MWP`` (memory warp parallelism) — how many warps can overlap memory
+  requests, limited by latency/departure-delay, by peak bandwidth, and by the
+  number of active warps.
+* ``CWP`` (computation warp parallelism) — how many warps' compute can fit
+  under one memory period.
+
+The arithmetic follows the published model with two extensions the paper's
+phenomena require: a fixed per-block scheduling overhead (which produces the
+"High Overhead" regime of Figure 1 when a launch has a huge number of tiny
+blocks) and a per-launch kernel-dispatch overhead (which penalizes
+many-kernel decompositions such as per-row reductions).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import Optional
+
+from ..gpu.arch import GPUSpec
+
+#: Fixed cost of scheduling one thread block onto an SM (prologue, pipeline
+#: drain).  Dominates when blocks carry almost no work.
+BLOCK_SCHED_OVERHEAD_CYCLES = 700.0
+
+#: Minimum active warps per SM below which a kernel cannot hide latency and
+#: is classified latency-bound.
+LATENCY_BOUND_WARPS = 4.0
+
+
+class KernelCategory(enum.Enum):
+    """The paper's three kernel classes (§3, Performance Model)."""
+
+    MEMORY_BOUND = "memory"
+    COMPUTE_BOUND = "compute"
+    LATENCY_BOUND = "latency"
+
+
+@dataclasses.dataclass
+class KernelWorkload:
+    """Per-launch workload description consumed by the model.
+
+    Instruction and access counts are *dynamic per-warp* totals: how many
+    instructions one warp executes over the kernel's lifetime.  Memory
+    instructions are split into coalesced requests (one transaction each)
+    and uncoalesced requests (``uncoal_degree`` transactions each), exactly
+    the split Adaptic computes at compile time as a function of input size.
+    """
+
+    blocks: int
+    threads_per_block: int
+    comp_insts: float                 # per warp
+    coal_mem_insts: float             # per warp
+    uncoal_mem_insts: float = 0.0     # per warp
+    uncoal_degree: float = 32.0       # transactions per uncoalesced request
+    synch_insts: float = 0.0          # per warp
+    regs_per_thread: int = 16
+    shared_per_block: int = 0
+    bytes_per_coal_txn: Optional[int] = None  # default: spec segment size
+
+    @property
+    def mem_insts(self) -> float:
+        return self.coal_mem_insts + self.uncoal_mem_insts
+
+    def total_warps(self, warp_size: int) -> float:
+        return self.blocks * math.ceil(self.threads_per_block / warp_size)
+
+
+@dataclasses.dataclass
+class KernelEstimate:
+    """Model output for one kernel launch."""
+
+    cycles: float
+    seconds: float
+    category: KernelCategory
+    active_warps: float
+    mwp: float
+    cwp: float
+    mem_cycles: float
+    comp_cycles: float
+    repetitions: float
+    occupancy_blocks: int
+
+    def __repr__(self) -> str:
+        return (f"KernelEstimate({self.seconds * 1e6:.1f}us, "
+                f"{self.category.value}-bound, N={self.active_warps:.1f}, "
+                f"MWP={self.mwp:.1f}, CWP={self.cwp:.1f})")
+
+
+class PerformanceModel:
+    """Estimates kernel execution time on a :class:`GPUSpec`."""
+
+    def __init__(self, spec: GPUSpec,
+                 block_overhead: float = BLOCK_SCHED_OVERHEAD_CYCLES,
+                 latency_bound_warps: float = LATENCY_BOUND_WARPS):
+        self.spec = spec
+        self.block_overhead = block_overhead
+        self.latency_bound_warps = latency_bound_warps
+
+    # ------------------------------------------------------------------
+    def estimate(self, work: KernelWorkload) -> KernelEstimate:
+        spec = self.spec
+        if work.blocks <= 0 or work.threads_per_block <= 0:
+            return KernelEstimate(0.0, 0.0, KernelCategory.LATENCY_BOUND,
+                                  0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0)
+
+        warps_per_block = math.ceil(work.threads_per_block / spec.warp_size)
+        fit_blocks = spec.blocks_per_sm(
+            work.threads_per_block, work.regs_per_thread,
+            work.shared_per_block)
+        if fit_blocks == 0:
+            # Launch cannot run at all on this target; report +inf so the
+            # break-even search never selects it.
+            return KernelEstimate(math.inf, math.inf,
+                                  KernelCategory.LATENCY_BOUND, 0.0, 0.0,
+                                  0.0, math.inf, math.inf, 0.0, 0)
+
+        # Active warps per SM *that has work*.  With fewer blocks than SMs
+        # the idle SMs contribute nothing, but the busy ones still overlap
+        # a full block's warps — modeling this as a cross-machine average
+        # would understate the memory parallelism of small grids.
+        active_sms = min(spec.num_sms, work.blocks)
+        blocks_per_active_sm = min(float(fit_blocks),
+                                   work.blocks / active_sms)
+        n_active = max(blocks_per_active_sm * warps_per_block, 1e-9)
+
+        # Per-warp cycle components.
+        comp_cycles = spec.issue_cycles * (work.comp_insts
+                                           + work.mem_insts
+                                           + work.synch_insts)
+        mem_requests = work.mem_insts
+        txns = (work.coal_mem_insts
+                + work.uncoal_mem_insts * work.uncoal_degree)
+        mem_cycles = spec.mem_latency * max(mem_requests, 0.0)
+
+        # Departure delay averaged over requests.
+        if mem_requests > 0:
+            dep_delay = (
+                work.coal_mem_insts * spec.departure_del_coal
+                + work.uncoal_mem_insts * spec.departure_del_uncoal
+                * work.uncoal_degree) / mem_requests
+        else:
+            dep_delay = spec.departure_del_coal
+        dep_delay = max(dep_delay, 1e-9)
+
+        # --- MWP ---------------------------------------------------------
+        mwp_without_bw = spec.mem_latency / dep_delay
+        bytes_per_txn = work.bytes_per_coal_txn or spec.coalesced_bytes_per_txn
+        if mem_requests > 0:
+            load_bytes_per_warp = bytes_per_txn * txns / mem_requests
+            bw_per_warp = (spec.core_clock_ghz * load_bytes_per_warp
+                           / spec.mem_latency)  # GB/s consumed per warp
+            mwp_peak_bw = (spec.mem_bandwidth_gbps
+                           / max(bw_per_warp * active_sms, 1e-12))
+        else:
+            mwp_peak_bw = math.inf
+        mwp = max(min(mwp_without_bw, mwp_peak_bw, n_active), 1e-9)
+
+        # --- CWP ---------------------------------------------------------
+        if comp_cycles > 0:
+            cwp_full = (mem_cycles + comp_cycles) / comp_cycles
+        else:
+            cwp_full = math.inf
+        cwp = min(cwp_full, n_active)
+
+        # Number of scheduling rounds each busy SM runs.
+        total_warps = work.total_warps(spec.warp_size)
+        repetitions = total_warps / (active_sms * n_active)
+
+        mem_insts = max(mem_requests, 1.0)
+        if mem_cycles == 0.0:
+            exec_per_round = comp_cycles
+            category = KernelCategory.COMPUTE_BOUND
+        elif (mwp >= n_active - 1e-9) and (cwp >= n_active - 1e-9):
+            # Not enough warps to saturate either side.
+            exec_per_round = (mem_cycles + comp_cycles
+                              + (comp_cycles / mem_insts) * (mwp - 1))
+            category = KernelCategory.LATENCY_BOUND
+        elif cwp >= mwp:
+            # Memory system is the bottleneck.
+            exec_per_round = (mem_cycles * (n_active / mwp)
+                              + (comp_cycles / mem_insts) * (mwp - 1))
+            category = KernelCategory.MEMORY_BOUND
+        else:
+            # Computation dominates.
+            exec_per_round = spec.mem_latency + comp_cycles * n_active
+            category = KernelCategory.COMPUTE_BOUND
+
+        # Synchronization cost: each barrier drains the overlap window.
+        sync_cycles = (work.synch_insts * dep_delay
+                       * max(n_active - 1.0, 0.0))
+
+        # Reclassify as latency-bound when the SM simply has too few warps.
+        if (n_active < self.latency_bound_warps
+                and category is not KernelCategory.LATENCY_BOUND):
+            category = KernelCategory.LATENCY_BOUND
+
+        # Per-SM block scheduling overhead.  Concurrent block slots pipeline
+        # the scheduling latency, so it is amortized over the blocks an SM
+        # can host at once; it only dominates when blocks vastly outnumber
+        # their useful work (Figure 1's right-hand collapse).
+        blocks_per_sm_total = math.ceil(work.blocks / active_sms)
+        overhead = (self.block_overhead * blocks_per_sm_total
+                    / max(1, fit_blocks))
+
+        cycles = exec_per_round * repetitions + sync_cycles + overhead
+        return KernelEstimate(
+            cycles=cycles,
+            seconds=spec.cycles_to_seconds(cycles),
+            category=category,
+            active_warps=n_active,
+            mwp=mwp,
+            cwp=cwp,
+            mem_cycles=mem_cycles,
+            comp_cycles=comp_cycles,
+            repetitions=repetitions,
+            occupancy_blocks=fit_blocks,
+        )
+
+    # ------------------------------------------------------------------
+    def launch_seconds(self, work: KernelWorkload) -> float:
+        """Kernel time including the fixed launch (dispatch) overhead."""
+        est = self.estimate(work)
+        return est.seconds + self.spec.kernel_launch_overhead_us * 1e-6
+
+    def classify(self, work: KernelWorkload) -> KernelCategory:
+        return self.estimate(work).category

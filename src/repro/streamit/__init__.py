@@ -1,0 +1,21 @@
+"""StreamIt-like streaming frontend: structures, flattening, scheduling."""
+
+from .builders import (identity, map_filter, reduce_filter, stencil_filter,
+                       transfer_filter)
+from .flatten import Channel, FlatGraph, FlatNode, FlattenError, flatten
+from .hierarchical import HierarchicalError, run_stream
+from .interp import StreamInterpreterError, run_graph, run_program
+from .schedule import RateMatchError, Schedule, rate_match
+from .structure import (Duplicate, FeedbackLoop, Filter, Pipeline, RoundRobin,
+                        SplitJoin, Stream, StreamProgram, roundrobin)
+
+__all__ = [
+    "Filter", "Pipeline", "SplitJoin", "FeedbackLoop", "Stream",
+    "StreamProgram", "Duplicate", "RoundRobin", "roundrobin",
+    "flatten", "FlatGraph", "FlatNode", "Channel", "FlattenError",
+    "rate_match", "Schedule", "RateMatchError",
+    "run_program", "run_graph", "StreamInterpreterError",
+    "run_stream", "HierarchicalError",
+    "identity", "map_filter", "reduce_filter", "stencil_filter",
+    "transfer_filter",
+]

@@ -1,0 +1,131 @@
+"""Convenience builders for common streaming actors.
+
+StreamIt ships a standard library of idiomatic actors; these factories
+generate the equivalent work-function sources so applications don't hand
+write boilerplate.  Everything returns an ordinary
+:class:`~repro.streamit.structure.Filter`, fully visible to the compiler's
+pattern matchers (a `reduce_filter` classifies as a reduction, a
+`map_filter` as a map, and so on).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .structure import Filter
+
+_IDENT = "abcdefghijklmnopqrstuvwxyz"
+
+
+def identity(name: str = "identity") -> Filter:
+    """Pass one element through unchanged."""
+    return Filter("def identity():\n    push(pop())\n", pop=1, push=1,
+                  name=name)
+
+
+def map_filter(expression: str, arity: int = 1, name: str = "mapped",
+               params: Sequence[str] = (), count: str = "n") -> Filter:
+    """Elementwise actor: ``expression`` over ``arity`` popped values.
+
+    The expression refers to popped elements as ``a``, ``b``, ``c``, …
+    in pop order, to the iteration index as ``i``, and to any declared
+    scalar ``params``.
+
+    >>> f = map_filter("alpha * a + b", arity=2, params=("alpha",))
+    >>> f.rates({"n": 4, "alpha": 0.0})
+    (8, 8, 4)
+    """
+    if not 1 <= arity <= len(_IDENT):
+        raise ValueError(f"arity must be in [1, {len(_IDENT)}]")
+    args = ", ".join([count, *params])
+    pops = "".join(f"        {_IDENT[j]} = pop()\n" for j in range(arity))
+    source = (f"def {name}({args}):\n"
+              f"    for i in range({count}):\n"
+              f"{pops}"
+              f"        push({expression})\n")
+    return Filter(source, pop=f"{arity}*{count}" if arity > 1 else count,
+                  push=count, name=name)
+
+
+def reduce_filter(kind: str, element: str = "a", arity: int = 1,
+                  init: Optional[str] = None, epilogue: str = "acc",
+                  name: str = "reduced", params: Sequence[str] = (),
+                  count: str = "n") -> Filter:
+    """Reduction actor: fold ``element`` with ``kind`` over the stream.
+
+    ``kind`` is one of ``+``, ``*``, ``min``, ``max``.  ``element`` sees the
+    popped values as ``a``, ``b``, … and the index as ``i``; ``epilogue``
+    sees the final accumulator as ``acc``.
+
+    >>> f = reduce_filter("+", "a * b", arity=2, name="dot")
+    >>> f.rates({"n": 8})
+    (16, 16, 1)
+    """
+    defaults = {"+": "0.0", "*": "1.0", "min": "1e30", "max": "-1e30"}
+    if kind not in defaults:
+        raise ValueError(f"kind must be one of {sorted(defaults)}")
+    init = init if init is not None else defaults[kind]
+    if kind in ("min", "max"):
+        update = f"acc = {kind}(acc, {element})"
+    else:
+        update = f"acc = acc {kind} ({element})"
+    args = ", ".join([count, *params])
+    pops = "".join(f"        {_IDENT[j]} = pop()\n" for j in range(arity))
+    source = (f"def {name}({args}):\n"
+              f"    acc = {init}\n"
+              f"    for i in range({count}):\n"
+              f"{pops}"
+              f"        {update}\n"
+              f"    push({epilogue})\n")
+    return Filter(source, pop=f"{arity}*{count}" if arity > 1 else count,
+                  push=1, name=name)
+
+
+def stencil_filter(terms: str, offsets: Sequence[str], name: str = "stencil",
+                   guard: Optional[str] = None,
+                   params: Sequence[str] = (),
+                   count: str = "size") -> Filter:
+    """Neighboring-access actor over a guard-protected window.
+
+    ``terms`` references the peeked neighbors as ``p0``, ``p1``, … in the
+    order of ``offsets`` (each offset an expression in ``index`` and the
+    declared params).  Border cells (guard false) pass the center through.
+
+    >>> f = stencil_filter("(p0 + p1 + p2) / 3.0",
+    ...                    ["index - 1", "index", "index + 1"],
+    ...                    guard="(index >= 1) and (index < size - 1)")
+    >>> f.rates({"size": 10})
+    (10, 10, 10)
+    """
+    guard = guard or "index >= 0"
+    body = terms
+    for k, offset in enumerate(offsets):
+        body = body.replace(f"p{k}", f"peek({offset})")
+    args = ", ".join([count, *params])
+    source = (f"def {name}({args}):\n"
+              f"    for index in range({count}):\n"
+              f"        if {guard}:\n"
+              f"            push({body})\n"
+              f"        else:\n"
+              f"            push(peek(index))\n"
+              f"    for _j in range({count}):\n"
+              f"        _ = pop()\n")
+    return Filter(source, pop=count, push=count, peek=count, name=name)
+
+
+def transfer_filter(mapping: str, name: str = "transfer",
+                    params: Sequence[str] = (),
+                    count: str = "n") -> Filter:
+    """Pure reorganization actor: output ``i`` comes from input ``mapping``.
+
+    >>> f = transfer_filter("n - 1 - i", name="reverse")
+    >>> f.rates({"n": 4})
+    (4, 4, 4)
+    """
+    args = ", ".join([count, *params])
+    source = (f"def {name}({args}):\n"
+              f"    for i in range({count}):\n"
+              f"        push(peek({mapping}))\n"
+              f"    for _j in range({count}):\n"
+              f"        _ = pop()\n")
+    return Filter(source, pop=count, push=count, peek=count, name=name)

@@ -1,0 +1,177 @@
+"""Hierarchical (structural) stream interpreter, including feedback loops.
+
+The flat interpreter (:mod:`repro.streamit.interp`) needs an acyclic graph
+and a steady-state schedule; this one executes the *structure* directly by
+pushing data through each construct, which naturally handles
+:class:`FeedbackLoop` — StreamIt's third composition form — via its
+loopback queue and initially enqueued items.
+
+The compiler still refuses feedback loops (none of the paper's benchmarks
+use them); this interpreter exists so the DSL is complete and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..ir.interp import WorkInterpreter
+from .structure import (Duplicate, FeedbackLoop, Filter, Pipeline,
+                        RoundRobin, SplitJoin, Stream)
+
+
+class HierarchicalError(RuntimeError):
+    """The stream could not consume its input cleanly."""
+
+
+def run_stream(stream: Stream, inputs: Sequence[float],
+               params: Dict[str, float],
+               states: Optional[Dict[int, dict]] = None) -> np.ndarray:
+    """Push ``inputs`` through ``stream``; return everything it emits.
+
+    Raises :class:`HierarchicalError` when the input length leaves a
+    construct with a partial firing (rate mismatch).
+    """
+    states = states if states is not None else {}
+    outputs, leftover = _run(stream, list(inputs), params, states)
+    if leftover:
+        raise HierarchicalError(
+            f"stream {stream.name!r} left {leftover} input element(s) "
+            "unconsumed (input length does not match the rates)")
+    return np.asarray(outputs)
+
+
+def _run(stream: Stream, inputs: List[float], params, states):
+    """Returns (outputs, number of unconsumed trailing elements)."""
+    if isinstance(stream, Filter):
+        return _run_filter(stream, inputs, params, states)
+    if isinstance(stream, Pipeline):
+        outputs = inputs
+        leftover = 0
+        for index, child in enumerate(stream.children):
+            outputs, child_left = _run(child, outputs, params, states)
+            if child_left and index == 0:
+                leftover = child_left
+            elif child_left:
+                raise HierarchicalError(
+                    f"pipeline stage {child.name!r} left {child_left} "
+                    "element(s) behind")
+        return outputs, leftover
+    if isinstance(stream, SplitJoin):
+        return _run_splitjoin(stream, inputs, params, states)
+    if isinstance(stream, FeedbackLoop):
+        return _run_feedback(stream, inputs, params, states)
+    raise TypeError(f"unknown stream construct {type(stream).__name__}")
+
+
+def _run_filter(filt: Filter, inputs, params, states):
+    pop, peek, _push = filt.rates(params)
+    state = states.setdefault(id(filt), dict(filt.state))
+    interp = WorkInterpreter(filt.work, params, state)
+    outputs: List[float] = []
+    cursor = 0
+    while cursor + peek <= len(inputs) and (pop > 0 or cursor == 0):
+        out, new_cursor = interp.run(inputs, cursor)
+        outputs.extend(out)
+        if pop > 0 and new_cursor == cursor:
+            raise HierarchicalError(
+                f"filter {filt.name!r} declares pop={pop} but consumed "
+                "nothing (work function is missing its pops)")
+        cursor = new_cursor
+        if pop == 0:
+            break  # sources fire once per run
+    return outputs, len(inputs) - cursor
+
+
+def _run_splitjoin(sj: SplitJoin, inputs, params, states):
+    branches = sj.children
+    if isinstance(sj.splitter, Duplicate):
+        branch_inputs = [list(inputs) for _ in branches]
+        consumed = len(inputs)
+    else:
+        weights = [w.evaluate(params) for w in sj.splitter.weight_exprs()]
+        round_size = sum(weights)
+        rounds = len(inputs) // round_size if round_size else 0
+        branch_inputs = [[] for _ in branches]
+        cursor = 0
+        for _ in range(rounds):
+            for b, weight in enumerate(weights):
+                branch_inputs[b].extend(inputs[cursor:cursor + weight])
+                cursor += weight
+        consumed = cursor
+
+    branch_outputs = []
+    for child, data in zip(branches, branch_inputs):
+        out, left = _run(child, data, params, states)
+        if left:
+            raise HierarchicalError(
+                f"split-join branch {child.name!r} left {left} "
+                "element(s) behind")
+        branch_outputs.append(out)
+
+    jweights = [w.evaluate(params) for w in sj.joiner.weight_exprs()]
+    outputs: List[float] = []
+    cursors = [0] * len(branches)
+    while all(cursors[b] + jweights[b] <= len(branch_outputs[b])
+              for b in range(len(branches))):
+        for b, weight in enumerate(jweights):
+            outputs.extend(branch_outputs[b][cursors[b]:cursors[b] + weight])
+            cursors[b] += weight
+    for b in range(len(branches)):
+        if cursors[b] != len(branch_outputs[b]):
+            raise HierarchicalError(
+                f"joiner left branch {branches[b].name!r} output "
+                "partially consumed")
+    return outputs, len(inputs) - consumed
+
+
+def _run_feedback(loop: FeedbackLoop, inputs, params, states):
+    """Execute a feedback loop round by round.
+
+    Structure: (input ⊕ loopback) --joiner--> body --splitter--> (output,
+    loop path --> back to the joiner).  ``enqueued`` seeds the loopback so
+    the first joiner firing can proceed.
+    """
+    jw = [w.evaluate(params) for w in loop.joiner.weight_exprs()]
+    sw = [w.evaluate(params) for w in loop.splitter.weight_exprs()]
+    if len(jw) != 2 or len(sw) != 2:
+        raise HierarchicalError(
+            "feedback joiner/splitter must have exactly two ways "
+            "(external, loopback)")
+    w_in, w_back_in = jw
+    w_out, w_back_out = sw
+
+    loopback: List[float] = list(loop.enqueued)
+    outputs: List[float] = []
+    cursor = 0
+    while True:
+        joined: List[float] = []
+        while (cursor + w_in <= len(inputs)
+               and len(loopback) >= w_back_in):
+            joined.extend(inputs[cursor:cursor + w_in])
+            cursor += w_in
+            joined.extend(loopback[:w_back_in])
+            del loopback[:w_back_in]
+        if not joined:
+            break
+        body_out, left = _run(loop.body, joined, params, states)
+        if left:
+            raise HierarchicalError(
+                f"feedback body {loop.body.name!r} left {left} "
+                "element(s) behind")
+        round_size = w_out + w_back_out
+        if round_size and len(body_out) % round_size:
+            raise HierarchicalError(
+                "feedback splitter received a partial round")
+        back: List[float] = []
+        for base in range(0, len(body_out), round_size):
+            outputs.extend(body_out[base:base + w_out])
+            back.extend(body_out[base + w_out:base + round_size])
+        loop_out, left = _run(loop.loop, back, params, states)
+        if left:
+            raise HierarchicalError(
+                f"feedback loop path {loop.loop.name!r} left {left} "
+                "element(s) behind")
+        loopback.extend(loop_out)
+    return outputs, len(inputs) - cursor

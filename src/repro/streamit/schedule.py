@@ -1,0 +1,123 @@
+"""Steady-state scheduling (rate matching).
+
+"To ensure correct functionality in StreamIt programs, it is important to
+create a steady state schedule which involves rate-matching of the stream
+graph … Rate-matching assigns a repetition number to each actor." (§2)
+
+Balance equations over the flat graph: for every channel
+``reps[src] * push == reps[dst] * pop``.  The solver propagates rational
+repetition counts over the (acyclic) graph, verifies consistency on every
+remaining channel, and scales to the smallest integer vector.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from fractions import Fraction
+from typing import Dict
+
+from .flatten import FlatGraph, FlatNode
+
+
+class RateMatchError(ValueError):
+    """The stream graph has inconsistent rates (no steady state exists)."""
+
+
+@dataclasses.dataclass
+class Schedule:
+    """The steady-state repetition vector plus channel buffer sizes."""
+
+    repetitions: Dict[int, int]            # node id -> firings/steady state
+    buffer_sizes: Dict[int, int]           # channel index -> elements
+    inputs_per_steady: int                 # elements consumed from outside
+    outputs_per_steady: int                # elements produced to outside
+
+    def reps(self, node: FlatNode) -> int:
+        return self.repetitions[node.id]
+
+
+def rate_match(graph: FlatGraph, params: Dict[str, float]) -> Schedule:
+    """Solve the balance equations for one parameter binding."""
+    reps: Dict[int, Fraction] = {}
+    if not graph.nodes:
+        raise RateMatchError("empty graph")
+
+    # Propagate from the first node in topological order.
+    order = graph.topological_order()
+    reps[order[0].id] = Fraction(1)
+    pending = [order[0]]
+    while pending:
+        node = pending.pop()
+        for chan in node.outputs:
+            if chan.dst is None:
+                continue
+            push = node.push_rates(params)[chan.src_port]
+            pop = chan.dst.pop_rates(params)[chan.dst_port]
+            if push == 0 and pop == 0:
+                continue
+            if push == 0 or pop == 0:
+                raise RateMatchError(
+                    f"channel {chan!r}: one side has rate 0 "
+                    f"(push={push}, pop={pop})")
+            implied = reps[node.id] * Fraction(push, pop)
+            if chan.dst.id in reps:
+                if reps[chan.dst.id] != implied:
+                    raise RateMatchError(
+                        f"inconsistent rates at {chan!r}: "
+                        f"{reps[chan.dst.id]} vs {implied}")
+            else:
+                reps[chan.dst.id] = implied
+                pending.append(chan.dst)
+        for chan in node.inputs:
+            src = chan.src
+            push = src.push_rates(params)[chan.src_port]
+            pop = node.pop_rates(params)[chan.dst_port]
+            if push == 0 or pop == 0:
+                raise RateMatchError(
+                    f"channel {chan!r}: one side has rate 0 "
+                    f"(push={push}, pop={pop})")
+            implied = reps[node.id] * Fraction(pop, push)
+            if src.id in reps:
+                if reps[src.id] != implied:
+                    raise RateMatchError(
+                        f"inconsistent rates at {chan!r}: "
+                        f"{reps[src.id]} vs {implied}")
+            else:
+                reps[src.id] = implied
+                pending.append(src)
+
+    missing = [n.name for n in graph.nodes if n.id not in reps]
+    if missing:
+        raise RateMatchError(f"disconnected nodes: {missing}")
+
+    # Scale to the smallest positive integer vector.
+    denom_lcm = 1
+    for frac in reps.values():
+        denom_lcm = _lcm(denom_lcm, frac.denominator)
+    scaled = {nid: int(frac * denom_lcm) for nid, frac in reps.items()}
+    numer_gcd = 0
+    for value in scaled.values():
+        numer_gcd = math.gcd(numer_gcd, value)
+    repetitions = {nid: value // numer_gcd for nid, value in scaled.items()}
+
+    buffer_sizes: Dict[int, int] = {}
+    for index, chan in enumerate(graph.channels):
+        push = chan.src.push_rates(params)[chan.src_port]
+        size = repetitions[chan.src.id] * push
+        if chan.dst is not None:
+            size += chan.dst.peek_extra(params)
+        buffer_sizes[index] = size
+
+    entry = graph.entry
+    inputs = (repetitions[entry.id] * entry.pop_rates(params)[0]
+              if entry is not None else 0)
+    exit = graph.exit
+    outputs = (repetitions[exit.id] * exit.push_rates(params)[0]
+               if exit is not None else 0)
+    return Schedule(repetitions=repetitions, buffer_sizes=buffer_sizes,
+                    inputs_per_steady=inputs, outputs_per_steady=outputs)
+
+
+def _lcm(a: int, b: int) -> int:
+    return a * b // math.gcd(a, b)

@@ -1,0 +1,224 @@
+"""StreamIt-style stream structures.
+
+Programs are hierarchical compositions (§2):
+
+* :class:`Filter` — a leaf actor with a work function and pop/peek/push rates
+  (rates may be symbolic in the program parameters);
+* :class:`Pipeline` — sequential composition;
+* :class:`SplitJoin` — parallel composition with a *duplicate* or
+  *round-robin* splitter and a round-robin joiner;
+* :class:`FeedbackLoop` — cyclic composition.
+
+A :class:`StreamProgram` wraps the top-level stream with its parameter names
+and declared input ranges — the "[a, b] range of interest" Adaptic takes as
+compiler input (§3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..ir import lift, lift_code
+from ..ir import nodes as N
+from ..ir.rates import RateExpr
+
+_fresh_ids = itertools.count()
+
+
+class Stream:
+    """Base class for all stream constructs."""
+
+    def __init__(self, name: Optional[str] = None):
+        self.name = name or f"{type(self).__name__.lower()}{next(_fresh_ids)}"
+
+    def filters(self) -> List["Filter"]:
+        """All leaf filters in hierarchy order."""
+        raise NotImplementedError
+
+
+class Filter(Stream):
+    """A leaf actor: one input stream, one output stream, a work function.
+
+    ``work`` may be a Python function (lifted via :func:`repro.ir.lift`), a
+    source string, or an already-lifted :class:`WorkFunction`.  ``pop``,
+    ``push`` and ``peek`` are rates per work invocation: integers or
+    expressions over the program parameters (``"n"``, ``"2*width"``).
+    ``peek`` is the total lookahead window; it must be at least ``pop``.
+    """
+
+    def __init__(self, work, pop, push, peek=None,
+                 name: Optional[str] = None,
+                 state: Optional[Dict[str, float]] = None,
+                 consts: Sequence[str] = ()):
+        if isinstance(work, N.WorkFunction):
+            self.work = work
+        elif isinstance(work, str):
+            self.work = lift_code(work)
+        else:
+            self.work = lift(work)
+        super().__init__(name or self.work.name)
+        self.pop = RateExpr(pop)
+        self.push = RateExpr(push)
+        self.peek = RateExpr(peek) if peek is not None else RateExpr(pop)
+        self.state = dict(state or {})
+        self.consts = tuple(consts)
+        used_arrays = N.index_arrays(self.work)
+        undeclared = used_arrays - set(self.consts)
+        if undeclared:
+            raise ValueError(
+                f"filter {self.name!r} indexes undeclared auxiliary "
+                f"array(s) {sorted(undeclared)}; declare them via consts=")
+
+    @property
+    def params(self) -> Tuple[str, ...]:
+        return self.work.params
+
+    def filters(self) -> List["Filter"]:
+        return [self]
+
+    def rates(self, params: Dict[str, float]) -> Tuple[int, int, int]:
+        """Concrete (pop, peek, push) for a parameter binding."""
+        pop = self.pop.evaluate(params)
+        peek = self.peek.evaluate(params)
+        push = self.push.evaluate(params)
+        if peek < pop:
+            raise ValueError(
+                f"filter {self.name!r}: peek rate {peek} < pop rate {pop}")
+        return pop, peek, push
+
+    def __repr__(self) -> str:
+        return (f"Filter({self.name!r}, pop={self.pop}, peek={self.peek}, "
+                f"push={self.push})")
+
+
+class Pipeline(Stream):
+    """Sequential composition of streams."""
+
+    def __init__(self, *children: Stream, name: Optional[str] = None):
+        super().__init__(name)
+        if not children:
+            raise ValueError("a pipeline needs at least one child")
+        self.children = list(children)
+
+    def filters(self) -> List[Filter]:
+        return [f for child in self.children for f in child.filters()]
+
+    def __repr__(self) -> str:
+        return f"Pipeline({', '.join(c.name for c in self.children)})"
+
+
+@dataclasses.dataclass(frozen=True)
+class Duplicate:
+    """Duplicate splitter: every branch sees the full stream."""
+
+    def __str__(self) -> str:
+        return "duplicate"
+
+
+@dataclasses.dataclass(frozen=True)
+class RoundRobin:
+    """Weighted round-robin splitter/joiner."""
+
+    weights: Tuple[Union[int, str], ...] = (1,)
+
+    def weight_exprs(self) -> Tuple[RateExpr, ...]:
+        return tuple(RateExpr(w) for w in self.weights)
+
+    def __str__(self) -> str:
+        return f"roundrobin({', '.join(map(str, self.weights))})"
+
+
+def roundrobin(*weights) -> RoundRobin:
+    return RoundRobin(tuple(weights) if weights else (1,))
+
+
+class SplitJoin(Stream):
+    """Parallel composition: splitter → branches → joiner."""
+
+    def __init__(self, splitter: Union[Duplicate, RoundRobin],
+                 children: Sequence[Stream],
+                 joiner: RoundRobin,
+                 name: Optional[str] = None):
+        super().__init__(name)
+        if not children:
+            raise ValueError("a split-join needs at least one branch")
+        if isinstance(splitter, RoundRobin) and len(splitter.weights) == 1:
+            splitter = RoundRobin(splitter.weights * len(children))
+        if len(joiner.weights) == 1:
+            joiner = RoundRobin(joiner.weights * len(children))
+        if (isinstance(splitter, RoundRobin)
+                and len(splitter.weights) != len(children)):
+            raise ValueError("splitter weights do not match branch count")
+        if len(joiner.weights) != len(children):
+            raise ValueError("joiner weights do not match branch count")
+        self.splitter = splitter
+        self.children = list(children)
+        self.joiner = joiner
+
+    def filters(self) -> List[Filter]:
+        return [f for child in self.children for f in child.filters()]
+
+    def __repr__(self) -> str:
+        return (f"SplitJoin({self.splitter}, "
+                f"[{', '.join(c.name for c in self.children)}], "
+                f"{self.joiner})")
+
+
+class FeedbackLoop(Stream):
+    """Cyclic composition: body output joins with loop-back path.
+
+    Present for StreamIt completeness; none of the paper's benchmarks use
+    it, and the compiler rejects it with a clear diagnostic.
+    """
+
+    def __init__(self, body: Stream, loop: Stream,
+                 joiner: RoundRobin, splitter: RoundRobin,
+                 enqueued: Sequence[float] = (),
+                 name: Optional[str] = None):
+        super().__init__(name)
+        self.body = body
+        self.loop = loop
+        self.joiner = joiner
+        self.splitter = splitter
+        self.enqueued = list(enqueued)
+
+    def filters(self) -> List[Filter]:
+        return self.body.filters() + self.loop.filters()
+
+
+class StreamProgram:
+    """A top-level stream plus its parameters and input ranges of interest."""
+
+    def __init__(self, top: Stream, params: Sequence[str],
+                 input_ranges: Optional[Dict[str, Tuple[int, int]]] = None,
+                 input_size: Union[int, str, None] = None,
+                 name: Optional[str] = None):
+        self.top = top
+        self.params = tuple(params)
+        self.input_ranges = dict(input_ranges or {})
+        #: Total stream length as a function of the parameters; when given,
+        #: executions may span several steady states (length / per-steady).
+        self.input_size = RateExpr(input_size) if input_size is not None \
+            else None
+        self.name = name or top.name
+        self._validate_params()
+
+    def _validate_params(self) -> None:
+        declared = set(self.params)
+        for filt in self.top.filters():
+            used = (set(filt.params) | filt.pop.free_params()
+                    | filt.push.free_params() | filt.peek.free_params())
+            unknown = used - declared - set(filt.state)
+            if unknown:
+                raise ValueError(
+                    f"filter {filt.name!r} uses undeclared parameter(s) "
+                    f"{sorted(unknown)}; program declares {sorted(declared)}")
+
+    def filters(self) -> List[Filter]:
+        return self.top.filters()
+
+    def __repr__(self) -> str:
+        return (f"StreamProgram({self.name!r}, params={self.params}, "
+                f"filters={len(self.filters())})")

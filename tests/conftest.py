@@ -1,0 +1,37 @@
+"""Shared fixtures and helpers for the Adaptic test suite."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Device, GTX_285, TESLA_C2050
+from repro.perfmodel import PerformanceModel
+
+
+@pytest.fixture
+def c2050():
+    return TESLA_C2050
+
+
+@pytest.fixture
+def gtx285():
+    return GTX_285
+
+
+@pytest.fixture
+def device():
+    return Device(TESLA_C2050)
+
+
+@pytest.fixture
+def model():
+    return PerformanceModel(TESLA_C2050)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+from workloads import (ISAMAX_SRC, SASUM_SRC, SAXPY_SRC,  # noqa: F401
+                       SCALE_SRC, SDOT_SRC, SNRM2_SRC,
+                       STENCIL5_SRC, SUM_SRC)

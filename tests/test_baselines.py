@@ -1,0 +1,157 @@
+"""Tests for the hand-optimized baselines: functional correctness and the
+comfort-zone behaviours the paper's comparisons rely on."""
+
+import numpy as np
+import pytest
+
+import repro.apps as apps
+from repro.baselines import HandOptimized, cublas, gpusvm, sdk
+from repro.gpu import GTX_285, TESLA_C2050
+from repro.perfmodel import PerformanceModel
+
+
+@pytest.fixture
+def model():
+    return PerformanceModel(TESLA_C2050)
+
+
+class TestCublasFunctional:
+    def test_sgemv_t(self, rng):
+        matrix, vec, params = apps.tmv.make_input(6, 40, rng)
+        out = cublas.sgemv_t().run(matrix, params)
+        assert np.allclose(out, apps.tmv.reference(matrix, vec, 6, 40))
+
+    @pytest.mark.parametrize("name", ["sdot", "sasum", "snrm2", "isamax"])
+    def test_reductions(self, name, rng):
+        baseline = cublas.REDUCTIONS[name]()
+        data = apps.blas1.make_input(name, 50, 1, rng)
+        out = baseline.run(data, {"n": 50, "r": 1})
+        ref = apps.blas1.reference(name, data, {"n": 50})
+        assert np.allclose(out, ref)
+
+    @pytest.mark.parametrize("name", ["sscal", "saxpy", "scopy", "sswap",
+                                      "srot"])
+    def test_maps(self, name, rng):
+        baseline = cublas.MAPS[name]()
+        data = apps.blas1.make_input(name, 30, 1, rng)
+        params = {"n": 30, "r": 1, "alpha": 2.0, "c": 0.6, "s": 0.8}
+        out = baseline.run(data, params)
+        ref = apps.blas1.reference(name, data, params)
+        assert np.allclose(out, ref)
+
+
+class TestSdkFunctional:
+    def test_scalar_product(self, rng):
+        data = apps.scalar_product.make_input(3, 40, rng)
+        out = sdk.scalar_product().run(data, {"pairs": 3, "n": 40})
+        assert np.allclose(out, apps.scalar_product.reference(data, 3, 40))
+
+    def test_montecarlo_portable(self, rng, model):
+        baseline = sdk.montecarlo()
+        assert baseline.portable
+        params = apps.montecarlo.make_params(64, 2)
+        data = apps.montecarlo.make_input(64, 2, rng)
+        out = baseline.run(data, params)
+        assert np.allclose(out, apps.montecarlo.reference(data, params),
+                           rtol=1e-6)
+
+    def test_ocean_fft(self, rng):
+        data, params = apps.stencil2d.make_input(16, 8, rng)
+        out = sdk.ocean_fft().run(data, params)
+        assert np.allclose(out, apps.stencil2d.reference(data, 16))
+
+    def test_convolution_two_pass(self, rng):
+        baseline = sdk.convolution_separable(radius=2)
+        data, params = apps.convolution.make_input(16, 8, rng)
+        out = baseline.run(data, params)
+        ref = apps.convolution.reference(data, 16, radius=2)
+        assert np.allclose(out, ref, rtol=1e-6)
+
+    def test_histogram_chain(self, rng):
+        data, params = apps.insensitive.histogram_input(3, rng)
+        out = sdk.histogram().run(data, params)
+        assert np.allclose(out, apps.insensitive.histogram_reference(data))
+
+    def test_blackscholes(self, rng):
+        data, params = apps.insensitive.blackscholes_input(20, rng)
+        out = sdk.blackscholes().run(data, params)
+        ref = apps.insensitive.blackscholes_reference(data, params)
+        assert np.allclose(out, ref, rtol=1e-6)
+
+
+class TestComfortZones:
+    def test_tmv_baseline_has_comfort_zone(self, model):
+        baseline = cublas.sgemv_t()
+        total = 1 << 20
+
+        def gflops(rows):
+            t = baseline.predicted_seconds(
+                model, {"rows": rows, "cols": total // rows, "vec": None})
+            return 2 * total / t / 1e9
+
+        assert gflops(512) > 5 * gflops(8)        # left collapse
+        assert gflops(512) > 5 * gflops(128 << 10)  # right collapse
+
+    def test_scalarprod_starves_with_few_pairs(self, model):
+        baseline = sdk.scalar_product()
+        few = baseline.predicted_seconds(model, {"pairs": 2, "n": 1 << 20})
+        many = baseline.predicted_seconds(model,
+                                          {"pairs": 128, "n": 16 << 10})
+        # Same total elements, wildly different times.
+        assert few > 3 * many
+
+    def test_portable_baseline_picks_best(self, model):
+        baseline = sdk.montecarlo()
+        few_options = {"paths": 1 << 20, "options": 2,
+                       **apps.montecarlo.DEFAULTS}
+        plans = baseline.plans(model, few_options)
+        assert len(plans) == 1
+        assert plans[0].strategy.startswith("reduce.two_kernel")
+
+    def test_cublas_overhead_included(self, model):
+        with_overhead = cublas.sdot().predicted_seconds(
+            model, {"n": 1024, "r": 1})
+        bare = HandOptimized("bare", TESLA_C2050,
+                             cublas.sdot()._plans).predicted_seconds(
+            model, {"n": 1024, "r": 1})
+        assert with_overhead == pytest.approx(
+            bare + cublas.CUBLAS_CALL_OVERHEAD_US * 1e-6)
+
+
+class TestGpuSvm:
+    def test_iteration_seconds_scale_with_dataset(self, model):
+        small = gpusvm.iteration_seconds(model,
+                                         apps.svm.DATASETS["usps"])
+        large = gpusvm.iteration_seconds(model,
+                                         apps.svm.DATASETS["mnist"])
+        assert large > 3 * small
+
+    def test_cache_reduces_cost(self, model):
+        from repro.apps.svm import Dataset
+        no_cache = Dataset("x", 30000, 200, 0.0)
+        cached = Dataset("x", 30000, 200, 0.8)
+        assert (gpusvm.iteration_seconds(model, cached)
+                < gpusvm.iteration_seconds(model, no_cache))
+
+    def test_kernel_row_functional(self, rng):
+        data = apps.svm.make_dataset("usps", rng, max_samples=8)
+        x = data["x"][:, :6]
+        norms = (x * x).sum(axis=1)
+        baseline = gpusvm.kernel_row()
+        params = {"m": 8, "nfeat": 6, "gamma": 0.2, "norm_i": norms[2],
+                  "xi": x[2], "norms": norms}
+        out = baseline.run(x.reshape(-1), params)
+        expected = np.exp(-0.2 * (norms + norms[2] - 2 * (x @ x[2])))
+        assert np.allclose(out, expected, rtol=1e-6)
+
+    def test_pair_search_two_kernels(self, model):
+        baseline = gpusvm.pair_search()
+        assert len(baseline.plans(model, {"m": 100})) == 2
+
+
+class TestBothTargets:
+    def test_baselines_build_for_gtx285(self, model):
+        for factory in (cublas.sgemv_t, cublas.sdot, sdk.scalar_product,
+                        sdk.ocean_fft):
+            baseline = factory(GTX_285)
+            assert baseline.spec is GTX_285

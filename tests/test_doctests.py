@@ -1,0 +1,15 @@
+"""Run the doctests embedded in public modules."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.streamit.builders
+
+
+@pytest.mark.parametrize("module", [repro, repro.streamit.builders])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s)"
+    assert results.attempted > 0

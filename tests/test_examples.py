@@ -1,0 +1,47 @@
+"""Smoke tests for the runnable examples (the fast ones end-to-end; the
+long-running solvers are covered functionally by test_apps)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_all_examples_exist(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {"quickstart.py", "tmv_portability.py",
+                "bicgstab_solver.py", "svm_training.py",
+                "stencil_heat.py"} <= names
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "reduce." in out
+        assert "__global__" in out
+
+    def test_tmv_portability(self):
+        out = run_example("tmv_portability.py")
+        assert "thread_per_array" in out
+        assert "functional check" in out
+        assert "max abs error" in out
+
+    def test_stencil_heat(self):
+        out = run_example("stencil_heat.py")
+        assert "adaptive super-tile choice" in out
+        assert "heat conserved" in out
+
+    def test_feedback_echo(self):
+        out = run_example("feedback_echo.py")
+        assert "matches 0.7^t: True" in out
+        assert "[1, 1, 2, 3, 5, 8, 13, 21, 34, 55]" in out

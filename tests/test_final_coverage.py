@@ -1,0 +1,104 @@
+"""Final coverage batch: CPU subgraph plans, stats helpers, experiment
+utilities."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.plans.cpusubgraph import CpuGraphPlan
+from repro.gpu import Device, TESLA_C2050
+from repro.perfmodel import PerformanceModel
+from repro.streamit import (Duplicate, Filter, SplitJoin, map_filter,
+                            reduce_filter, roundrobin)
+
+
+class TestCpuGraphPlan:
+    def _plan(self):
+        sub = SplitJoin(Duplicate(),
+                        [reduce_filter("+", name="sm"),
+                         map_filter("2.0 * a", name="dbl")],
+                        roundrobin(1, "n"))
+        return CpuGraphPlan(TESLA_C2050, "sub", sub)
+
+    def test_expected_sizes(self):
+        plan = self._plan()
+        assert plan.expected_input_size({"n": 8}) == 8
+        assert plan.output_size({"n": 8}) == 9   # 1 sum + 8 doubled
+
+    def test_execute_matches_semantics(self, rng):
+        plan = self._plan()
+        device = Device(TESLA_C2050)
+        data = rng.standard_normal(6)
+        buf = device.to_device(data, "in")
+        out = plan.execute(device, {"in": buf}, {"n": 6})
+        assert out.data[0] == pytest.approx(data.sum())
+        assert np.allclose(out.data[1:], 2.0 * data)
+
+    def test_predicted_scales_with_schedule(self):
+        plan = self._plan()
+        model = PerformanceModel(TESLA_C2050)
+        small = plan.predicted_seconds(model, {"n": 1 << 8})
+        large = plan.predicted_seconds(model, {"n": 1 << 16})
+        assert large > small
+
+    def test_no_launches(self):
+        assert self._plan().launches({"n": 4}) == []
+
+    def test_multi_steady_state_execution(self, rng):
+        plan = self._plan()
+        device = Device(TESLA_C2050)
+        data = rng.standard_normal(12)     # 2 steady states at n=6
+        buf = device.to_device(data, "in")
+        out = plan.execute(device, {"in": buf}, {"n": 6})
+        assert len(out.data) == 2 * 7
+        assert out.data[0] == pytest.approx(data[:6].sum())
+        assert out.data[7] == pytest.approx(data[6:].sum())
+
+
+class TestLaunchStatsHelpers:
+    def test_transactions_per_request(self):
+        from repro.gpu import Dim3
+        from repro.gpu.executor import LaunchStats
+        stats = LaunchStats("k", Dim3(1), Dim3(32), 0,
+                            global_transactions=8, global_requests=2)
+        assert stats.transactions_per_request == 4.0
+        empty = LaunchStats("k", Dim3(1), Dim3(32), 0)
+        assert empty.transactions_per_request == 0.0
+
+
+class TestExperimentHelpers:
+    def test_fig10_kernels_used(self):
+        from repro.experiments import fig10
+        result = fig10.run_panel(1 << 16)
+        text = fig10.kernels_used(result)
+        assert "reduce." in text
+
+    def test_fig01_summary_keys(self):
+        from repro.experiments import fig01
+        summary = fig01.regime_summary(fig01.run(total_elements=1 << 16))
+        assert set(summary) == {"left_edge", "peak", "right_edge",
+                                "peak_over_left", "peak_over_right"}
+
+    def test_model_validation_result_fields(self):
+        from repro.experiments import model_validation
+        results = model_validation.run()
+        assert len(results) == 3
+        text = model_validation.render(results)
+        assert "OK" in text
+
+
+class TestBuilderParamPaths:
+    def test_stencil_filter_with_params(self):
+        from repro.streamit import run_stream, stencil_filter
+        f = stencil_filter(
+            "w0 * p0 + w0 * p1", ["index - 1", "index + 1"],
+            guard="(index >= 1) and (index < size - 1)",
+            params=("w0",))
+        out = run_stream(f, [1.0, 2.0, 3.0, 4.0], {"size": 4, "w0": 0.5})
+        assert np.allclose(out, [1.0, 0.5 * (1 + 3), 0.5 * (2 + 4), 4.0])
+
+    def test_map_filter_arity_bounds(self):
+        from repro.streamit import map_filter
+        with pytest.raises(ValueError):
+            map_filter("a", arity=0)
+        with pytest.raises(ValueError):
+            map_filter("a", arity=27)

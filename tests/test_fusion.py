@@ -1,0 +1,195 @@
+"""Tests for pattern-level actor integration (vertical fusion)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.fusion import (compose_maps, compose_roundrobin_maps,
+                                   compose_transfer_into_map,
+                                   fuse_map_into_argreduce,
+                                   fuse_map_into_reduction)
+from repro.compiler.exprgen import compile_scalar_fn
+from repro.ir import classify, lift_code
+from repro.ir import nodes as N
+
+from workloads import ISAMAX_SRC, SCALE_SRC, SUM_SRC
+
+
+def pattern_of(src):
+    return classify(lift_code(src)).pattern
+
+
+def evaluate(expr, args, params=None):
+    names = sorted({n.name for n in expr.walk() if isinstance(n, N.Var)
+                    and n.name.startswith("_")})
+    fn = compile_scalar_fn(expr, names, params or {})
+    return fn(*[args[name] for name in names])
+
+
+class TestComposeMaps:
+    def test_one_to_one(self):
+        scale = pattern_of(SCALE_SRC)                  # push(a*x)
+        square = pattern_of("""
+def sq(n):
+    for i in range(n):
+        x = pop()
+        push(x * x)
+""")
+        fused = compose_maps(scale, square)
+        assert fused is not None
+        assert fused.pops_per_iter == 1
+        # (a*x)^2
+        value = evaluate(fused.outputs[0], {"_x0": 3.0}, {"a": 2.0})
+        assert value == 36.0
+
+    def test_one_to_many_grouping(self):
+        scale = pattern_of(SCALE_SRC)                  # 1 -> 1
+        pairsum = pattern_of("""
+def ps(n):
+    for i in range(n):
+        push(pop() + pop())
+""")                                                   # 2 -> 1
+        fused = compose_maps(scale, pairsum)
+        assert fused is not None
+        assert fused.pops_per_iter == 2
+        value = evaluate(fused.outputs[0], {"_x0": 1.0, "_x1": 2.0},
+                         {"a": 10.0})
+        assert value == 30.0
+
+    def test_index_shift_in_grouped_upstream(self):
+        ramp = pattern_of("""
+def ramp(n):
+    for i in range(n):
+        push(pop() + i)
+""")
+        pairsum = pattern_of("""
+def ps(n):
+    for i in range(n):
+        push(pop() + pop())
+""")
+        fused = compose_maps(ramp, pairsum)
+        # iteration _i consumes upstream iterations 2*_i and 2*_i + 1
+        value = evaluate(fused.outputs[0], {"_x0": 0.0, "_x1": 0.0,
+                                            "_i": 5})
+        assert value == (2 * 5) + (2 * 5 + 1)
+
+    def test_lcm_grouping_for_mismatched_widths(self):
+        two_out = pattern_of("""
+def dup(n):
+    for i in range(n):
+        x = pop()
+        push(x)
+        push(x + 1.0)
+""")                                                  # 1 -> 2
+        three_in = pattern_of("""
+def tri(n):
+    for i in range(n):
+        push(pop() + pop() + pop())
+""")                                                  # 3 -> 1
+        fused = compose_maps(two_out, three_in)
+        # lcm(2, 3) = 6: 3 upstream iterations feed 2 downstream ones.
+        assert fused is not None
+        assert fused.pops_per_iter == 3
+        assert fused.pushes_per_iter == 2
+        # x0 -> (x0, x0+1), x1 -> (x1, x1+1), x2 -> (x2, x2+1);
+        # downstream sums triples: (x0 + x0+1 + x1), (x1+1 + x2 + x2+1).
+        args = {"_x0": 5.0, "_x1": 7.0, "_x2": 9.0, "_i": 0}
+        assert evaluate(fused.outputs[0], args) == 5 + 6 + 7
+        assert evaluate(fused.outputs[1], args) == 8 + 9 + 10
+
+    def test_oversized_grouping_rejected(self):
+        wide = pattern_of("""
+def w(n):
+    for i in range(n):
+        x = pop()
+        push(x)
+        push(x)
+        push(x)
+        push(x)
+        push(x)
+        push(x)
+        push(x)
+""")                                                  # 1 -> 7
+        five_in = pattern_of("""
+def f(n):
+    for i in range(n):
+        push(pop() + pop() + pop() + pop() + pop())
+""")                                                  # 5 -> 1 (lcm 35)
+        assert compose_maps(wide, five_in) is None
+
+
+class TestFuseIntoReduction:
+    def test_scale_then_sum(self, rng):
+        scale = pattern_of(SCALE_SRC)
+        total = pattern_of(SUM_SRC)
+        fused = fuse_map_into_reduction(scale, total)
+        assert fused is not None
+        assert fused.kind == "+"
+        value = evaluate(fused.element, {"_x0": 4.0}, {"a": 3.0})
+        assert value == 12.0
+
+    def test_pair_product_then_sum_is_sdot(self):
+        mul = pattern_of("""
+def mul(n):
+    for i in range(n):
+        push(pop() * pop())
+""")
+        total = pattern_of(SUM_SRC)
+        fused = fuse_map_into_reduction(mul, total)
+        assert fused is not None
+        assert fused.pops_per_iter == 2
+        assert evaluate(fused.element, {"_x0": 3.0, "_x1": 4.0}) == 12.0
+
+    def test_fuse_into_argreduce(self):
+        negate = pattern_of("""
+def neg(n):
+    for i in range(n):
+        push(0.0 - pop())
+""")
+        isamax = pattern_of(ISAMAX_SRC)
+        fused = fuse_map_into_argreduce(negate, isamax)
+        assert fused is not None
+        assert evaluate(fused.element, {"_x0": -7.0, "_i": 0}) == 7.0
+
+
+class TestTransferTranslation:
+    def test_transfer_becomes_gather(self):
+        rev = pattern_of("""
+def rev(n):
+    for i in range(n):
+        push(peek(n - 1 - i))
+""")
+        scale = pattern_of(SCALE_SRC)
+        fused = compose_transfer_into_map(rev, scale)
+        assert fused is not None
+        gather = fused.removed_recurrences["__gather__"]
+        fn = compile_scalar_fn(gather, ["_i"], {"n": 10})
+        assert fn(0) == 9 and fn(9) == 0
+
+
+class TestRoundRobinComposition:
+    def test_two_branch_interleave(self):
+        double = pattern_of("""
+def d(n):
+    for i in range(n):
+        push(2.0 * pop())
+""")
+        triple = pattern_of("""
+def t(n):
+    for i in range(n):
+        push(3.0 * pop())
+""")
+        fused = compose_roundrobin_maps([1, 1], [double, triple], [1, 1])
+        assert fused is not None
+        assert fused.pops_per_iter == 2
+        assert fused.pushes_per_iter == 2
+        assert evaluate(fused.outputs[0], {"_x0": 5.0, "_x1": 7.0}) == 10.0
+        assert evaluate(fused.outputs[1], {"_x0": 5.0, "_x1": 7.0}) == 21.0
+
+    def test_weight_mismatch_fails(self):
+        double = pattern_of("""
+def d(n):
+    for i in range(n):
+        push(2.0 * pop())
+""")
+        assert compose_roundrobin_maps([2, 1], [double, double],
+                                       [1, 1]) is None

@@ -1,0 +1,85 @@
+"""Tests for GPU architectural specs and occupancy."""
+
+import pytest
+
+from repro.gpu import GTX_285, TESLA_C2050, get_target
+from repro.gpu.arch import GPUSpec
+
+
+class TestTargets:
+    def test_c2050_parameters(self):
+        assert TESLA_C2050.num_sms == 14
+        assert TESLA_C2050.warp_size == 32
+        assert TESLA_C2050.max_threads_per_sm == 1536
+        assert TESLA_C2050.shared_mem_per_sm == 48 * 1024
+
+    def test_gtx285_parameters(self):
+        assert GTX_285.num_sms == 30
+        assert GTX_285.max_threads_per_sm == 1024
+        assert GTX_285.shared_mem_per_sm == 16 * 1024
+
+    def test_lookup_by_short_name(self):
+        assert get_target("c2050") is TESLA_C2050
+        assert get_target("GTX285") is GTX_285
+        assert get_target("Tesla C2050") is TESLA_C2050
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_target("rtx9090")
+
+    def test_max_warps_per_sm(self):
+        assert TESLA_C2050.max_warps_per_sm == 48
+        assert GTX_285.max_warps_per_sm == 32
+
+
+class TestOccupancy:
+    def test_unconstrained_block_fits_max(self):
+        # 256 threads, light registers, no shared: limited by thread count.
+        fit = TESLA_C2050.blocks_per_sm(256, 16, 0)
+        assert fit == 6  # 1536 / 256
+
+    def test_block_count_limit(self):
+        fit = TESLA_C2050.blocks_per_sm(64, 8, 0)
+        assert fit == 8  # max_blocks_per_sm
+
+    def test_shared_memory_limits_blocks(self):
+        fit = TESLA_C2050.blocks_per_sm(256, 16, 24 * 1024)
+        assert fit == 2
+
+    def test_register_pressure_limits_blocks(self):
+        # 63 regs/thread * 256 threads ≈ 16k regs per block -> 2 blocks.
+        fit = TESLA_C2050.blocks_per_sm(256, 63, 0)
+        assert fit == 2
+
+    def test_oversized_block_rejected(self):
+        assert TESLA_C2050.blocks_per_sm(2048, 16, 0) == 0
+        assert GTX_285.blocks_per_sm(1024, 16, 0) == 0
+
+    def test_oversized_shared_rejected(self):
+        assert TESLA_C2050.blocks_per_sm(256, 16, 64 * 1024) == 0
+
+    def test_occupancy_fraction(self):
+        assert TESLA_C2050.occupancy(256, 16, 0) == pytest.approx(1.0)
+        low = TESLA_C2050.occupancy(256, 63, 0)
+        assert 0 < low < 0.5
+
+    def test_active_warps_few_blocks(self):
+        # 7 blocks on 14 SMs: half an 8-warp block per SM on average.
+        warps = TESLA_C2050.active_warps_per_sm(256, 16, 0, grid_blocks=7)
+        assert warps == pytest.approx(4.0)
+
+    def test_active_warps_saturated(self):
+        warps = TESLA_C2050.active_warps_per_sm(256, 16, 0,
+                                                grid_blocks=10000)
+        assert warps == pytest.approx(48.0)
+
+
+class TestClockConversions:
+    def test_cycles_seconds_roundtrip(self):
+        cycles = 1.15e9
+        assert TESLA_C2050.cycles_to_seconds(cycles) == pytest.approx(1.0)
+        assert TESLA_C2050.seconds_to_cycles(1.0) == pytest.approx(cycles)
+
+    def test_spec_is_frozen(self):
+        with pytest.raises(Exception):
+            TESLA_C2050.num_sms = 99  # frozen dataclass

@@ -1,0 +1,137 @@
+"""Tests for the memory system: coalescing, bank conflicts, tracing."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import DeviceArray, SharedMemory
+from repro.gpu.memory import (AccessEvent, MemoryTracer,
+                              bank_conflict_degree, coalesce_transactions)
+
+
+class TestCoalescing:
+    def test_contiguous_floats_one_transaction(self):
+        base = 1 << 20
+        addrs = [base + 4 * i for i in range(32)]
+        assert coalesce_transactions(addrs, 128) == 1
+
+    def test_strided_by_two_needs_two_segments(self):
+        base = 1 << 20
+        addrs = [base + 8 * i for i in range(32)]
+        assert coalesce_transactions(addrs, 128) == 2
+
+    def test_fully_scattered(self):
+        addrs = [(1 << 20) + 4096 * i for i in range(32)]
+        assert coalesce_transactions(addrs, 128) == 32
+
+    def test_same_address_broadcast(self):
+        addrs = [1 << 20] * 32
+        assert coalesce_transactions(addrs, 128) == 1
+
+    def test_unaligned_straddles_boundary(self):
+        base = (1 << 20) + 64   # mid-segment start
+        addrs = [base + 4 * i for i in range(32)]
+        assert coalesce_transactions(addrs, 128) == 2
+
+    def test_empty(self):
+        assert coalesce_transactions([], 128) == 0
+
+    def test_smaller_segments_gt200(self):
+        base = 1 << 20
+        addrs = [base + 4 * i for i in range(32)]
+        assert coalesce_transactions(addrs, 64) == 2
+
+
+class TestBankConflicts:
+    def test_sequential_words_conflict_free(self):
+        assert bank_conflict_degree(list(range(32)), 32) == 1
+
+    def test_stride_two_on_32_banks(self):
+        assert bank_conflict_degree([2 * i for i in range(32)], 32) == 2
+
+    def test_stride_32_worst_case(self):
+        assert bank_conflict_degree([32 * i for i in range(32)], 32) == 32
+
+    def test_broadcast_same_word(self):
+        assert bank_conflict_degree([7] * 32, 32) == 1
+
+    def test_16_banks_gt200(self):
+        assert bank_conflict_degree([2 * i for i in range(16)], 16) == 2
+
+    def test_empty(self):
+        assert bank_conflict_degree([], 32) == 1
+
+
+class TestDeviceArray:
+    def test_flattens_and_preserves_data(self):
+        data = np.arange(12, dtype=np.float32).reshape(3, 4)
+        arr = DeviceArray(data)
+        assert len(arr) == 12
+        assert np.array_equal(arr.to_host(), np.arange(12))
+
+    def test_distinct_allocations_do_not_share_segments(self):
+        a = DeviceArray(np.zeros(4, dtype=np.float32))
+        b = DeviceArray(np.zeros(4, dtype=np.float32))
+        assert abs(a.base - b.base) >= 1 << 20
+
+    def test_address_arithmetic(self):
+        arr = DeviceArray(np.zeros(8, dtype=np.float32))
+        assert arr.address_of(3) == arr.base + 12
+
+    def test_to_host_is_a_copy(self):
+        arr = DeviceArray(np.zeros(4, dtype=np.float32))
+        host = arr.to_host()
+        host[0] = 5
+        assert arr.data[0] == 0
+
+
+class TestTracer:
+    def _fill(self, tracer, thread_addrs):
+        for tid, addrs in enumerate(thread_addrs):
+            for addr in addrs:
+                tracer.record(0, tid, AccessEvent("global", addr, False))
+
+    def test_coalesced_warp_single_transaction(self):
+        tracer = MemoryTracer()
+        self._fill(tracer, [[(1 << 20) + 4 * t] for t in range(32)])
+        assert tracer.global_transactions(32, 128) == 1
+        assert tracer.coalesced_fraction(32, 128) == 1.0
+
+    def test_positional_matching_across_accesses(self):
+        # Two accesses per thread: first coalesced, second scattered.
+        tracer = MemoryTracer()
+        base = 1 << 20
+        self._fill(tracer, [[base + 4 * t, base + 4096 * t]
+                            for t in range(32)])
+        assert tracer.global_requests(32) == 2
+        assert tracer.global_transactions(32, 128) == 1 + 32
+        assert tracer.coalesced_fraction(32, 128) == 0.5
+
+    def test_divergent_threads_shorter_streams(self):
+        tracer = MemoryTracer()
+        base = 1 << 20
+        streams = [[base + 4 * t] for t in range(16)]       # half the warp
+        streams += [[] for _ in range(16)]
+        self._fill(tracer, streams)
+        assert tracer.global_requests(32) == 1
+        assert tracer.global_transactions(32, 128) == 1
+
+    def test_shared_conflict_counting(self):
+        tracer = MemoryTracer()
+        for t in range(32):
+            tracer.record(0, t, AccessEvent("shared", 2 * t, False))
+        assert tracer.shared_bank_conflicts(32, 32) == 1  # degree 2 -> +1
+
+
+class TestSharedMemory:
+    def test_allocation_and_word_index(self):
+        smem = SharedMemory()
+        smem.allocate("a", 16, np.float32)
+        smem.allocate("b", 8, np.float32)
+        assert smem.word_index("a", 3) == 3
+        assert smem.word_index("b", 0) == 16
+        assert smem.nbytes == 24 * 4
+
+    def test_arrays_are_zeroed(self):
+        smem = SharedMemory({"s": (8, np.float64)})
+        assert np.all(smem.arrays["s"] == 0)
+        assert smem.arrays["s"].dtype == np.float64

@@ -1,0 +1,181 @@
+"""Tests for IR dataflow analyses."""
+
+from repro.ir import (affine_in, lift_code, linear_recurrences,
+                      loop_carried_vars, symbolic_pop_count,
+                      symbolic_push_count)
+from repro.ir import nodes as N
+from repro.ir.rates import RateExpr
+
+
+def _loop(src):
+    wf = lift_code(src)
+    return next(s for s in wf.body if isinstance(s, N.For))
+
+
+class TestSymbolicCounts:
+    def test_loop_pop_count(self):
+        wf = lift_code("""
+def f(n):
+    acc = 0.0
+    for i in range(n):
+        acc = acc + pop() * pop()
+    push(acc)
+""")
+        pops = symbolic_pop_count(wf)
+        assert RateExpr(pops).evaluate({"n": 7}) == 14
+        pushes = symbolic_push_count(wf)
+        assert RateExpr(pushes).evaluate({"n": 7}) == 1
+
+    def test_nested_loops_multiply(self):
+        wf = lift_code("""
+def f(r, c):
+    for i in range(r):
+        for j in range(c):
+            push(pop())
+""")
+        pops = symbolic_pop_count(wf)
+        assert RateExpr(pops).evaluate({"r": 3, "c": 5}) == 15
+
+    def test_balanced_if_counts(self):
+        wf = lift_code("""
+def f(n):
+    for i in range(n):
+        if i % 2 == 0:
+            push(pop())
+        else:
+            push(pop() * 2)
+""")
+        assert RateExpr(symbolic_pop_count(wf)).evaluate({"n": 4}) == 4
+
+    def test_unbalanced_if_returns_none(self):
+        wf = lift_code("""
+def f(n):
+    for i in range(n):
+        if i > 0:
+            push(pop())
+""")
+        assert symbolic_pop_count(wf) is None
+
+
+class TestLoopCarried:
+    def test_accumulator_is_carried(self):
+        loop = _loop("""
+def f(n):
+    acc = 0.0
+    for i in range(n):
+        acc = acc + pop()
+    push(acc)
+""")
+        assert loop_carried_vars(loop) == {"acc"}
+
+    def test_iteration_local_temp_not_carried(self):
+        loop = _loop("""
+def f(n):
+    for i in range(n):
+        x = pop()
+        push(x * x)
+""")
+        assert loop_carried_vars(loop) == set()
+
+    def test_conditional_assign_is_carried(self):
+        loop = _loop("""
+def f(n):
+    best = 0.0
+    for i in range(n):
+        x = pop()
+        if x > best:
+            best = x
+    push(best)
+""")
+        assert loop_carried_vars(loop) == {"best"}
+
+    def test_read_after_unconditional_write_not_carried(self):
+        loop = _loop("""
+def f(n):
+    for i in range(n):
+        t = pop()
+        u = t + 1
+        push(u)
+""")
+        assert loop_carried_vars(loop) == set()
+
+
+class TestLinearRecurrences:
+    def test_constant_step(self):
+        loop = _loop("""
+def f(n, c):
+    count = 0
+    for i in range(n):
+        count = count + c
+        push(count)
+    push(count)
+""")
+        recs = linear_recurrences(loop)
+        assert "count" in recs
+        assert recs["count"].op == "+"
+        assert str(recs["count"].step) == "c"
+
+    def test_closed_form(self):
+        loop = _loop("""
+def f(n):
+    count = 5
+    for i in range(n):
+        count = count + 2
+        push(count)
+    push(count)
+""")
+        rec = linear_recurrences(loop)["count"]
+        closed = rec.closed_form(N.Const(5), "i")
+        assert str(closed) == "(5 + (i * 2))"
+
+    def test_data_dependent_step_rejected(self):
+        loop = _loop("""
+def f(n):
+    acc = 0.0
+    for i in range(n):
+        acc = acc + pop()
+    push(acc)
+""")
+        assert linear_recurrences(loop) == {}
+
+    def test_multiple_updates_rejected(self):
+        loop = _loop("""
+def f(n):
+    c = 0
+    for i in range(n):
+        c = c + 1
+        c = c + 2
+        push(c)
+    push(c)
+""")
+        assert linear_recurrences(loop) == {}
+
+
+class TestAffine:
+    def _expr(self, text):
+        wf = lift_code(f"def f(i, w, n):\n    push(peek({text}))\n")
+        return wf.body[0].value.offset
+
+    def test_plain_var(self):
+        coeff, off = affine_in(self._expr("i"), "i")
+        assert coeff.value == 1 and off.value == 0
+
+    def test_var_plus_const(self):
+        coeff, off = affine_in(self._expr("i + 3"), "i")
+        assert coeff.value == 1 and off.value == 3
+
+    def test_var_minus_param(self):
+        coeff, off = affine_in(self._expr("i - w"), "i")
+        assert coeff.value == 1 and str(off) == "(0 - w)"
+
+    def test_scaled(self):
+        coeff, off = affine_in(self._expr("2 * i + 1"), "i")
+        assert coeff.value == 2 and off.value == 1
+
+    def test_free_of_var(self):
+        coeff, off = affine_in(self._expr("w + 1"), "i")
+        assert coeff.value == 0
+
+    def test_nonaffine_returns_none(self):
+        assert affine_in(self._expr("i * i"), "i") is None
+        assert affine_in(self._expr("i % w"), "i") is None

@@ -1,0 +1,128 @@
+"""Tests for lifting restricted-Python work functions to IR."""
+
+import pytest
+
+from repro.ir import FrontendError, lift, lift_code
+from repro.ir import nodes as N
+
+
+class TestLifting:
+    def test_lift_from_function_object(self):
+        def work(n):
+            acc = 0.0
+            for i in range(n):
+                acc = acc + pop()  # noqa: F821
+            push(acc)              # noqa: F821
+
+        wf = lift(work)
+        assert wf.name == "work"
+        assert wf.params == ("n",)
+        assert len(wf.body) == 3
+
+    def test_lift_from_source(self):
+        wf = lift_code("def f(n):\n    push(1.0)\n")
+        assert isinstance(wf.body[0], N.Push)
+
+    def test_docstring_ignored(self):
+        wf = lift_code('def f():\n    "doc"\n    push(1.0)\n')
+        assert len(wf.body) == 1
+
+    def test_augmented_assign_desugars(self):
+        wf = lift_code("def f(n):\n    x = 0.0\n    x += n\n    push(x)\n")
+        update = wf.body[1]
+        assert isinstance(update.value, N.BinOp)
+        assert update.value.op == "+"
+
+    def test_range_two_args(self):
+        wf = lift_code(
+            "def f(a, b):\n    for i in range(a, b):\n        push(i)\n")
+        loop = wf.body[0]
+        assert isinstance(loop.start, N.Var)
+        assert loop.start.name == "a"
+
+    def test_if_else(self):
+        wf = lift_code("""
+def f(n):
+    if n > 0:
+        push(1.0)
+    else:
+        push(0.0)
+""")
+        assert isinstance(wf.body[0], N.If)
+        assert wf.body[0].orelse
+
+    def test_ternary_becomes_select(self):
+        wf = lift_code("def f(n):\n    push(1.0 if n > 0 else 0.0)\n")
+        value = wf.body[0].value
+        assert isinstance(value, N.Call) and value.fn == "select"
+
+    def test_subscript_becomes_index(self):
+        wf = lift_code("def f(n):\n    for i in range(n):\n"
+                       "        push(vec[i] * pop())\n")
+        index_nodes = [x for x in wf.walk() if isinstance(x, N.Index)]
+        assert len(index_nodes) == 1
+        assert index_nodes[0].array == "vec"
+
+    def test_peek_and_pop(self):
+        wf = lift_code("def f():\n    push(peek(3) + pop())\n")
+        kinds = {type(x) for x in wf.walk()}
+        assert N.Peek in kinds and N.Pop in kinds
+
+    def test_boolean_ops(self):
+        wf = lift_code("def f(n):\n    push(1.0 if (n > 0 and n < 9) "
+                       "else 0.0)\n")
+        assert wf is not None
+
+
+class TestRejections:
+    @pytest.mark.parametrize("src,fragment", [
+        ("def f():\n    while True:\n        push(1.0)\n", "unsupported"),
+        ("def f():\n    x, y = 1, 2\n", "single-name"),
+        ("def f():\n    import os\n", "unsupported"),
+        ("def f():\n    push(os.getcwd())\n", "intrinsic"),
+        ("def f():\n    pop(3)\n", "push"),
+        ("def f():\n    push(pop(1))\n", "pop takes no"),
+        ("def f():\n    push(peek())\n", "peek takes exactly"),
+        ("def f():\n    for i in [1, 2]:\n        push(i)\n", "range"),
+        ("def f(n=3):\n    push(n)\n", "positional"),
+        ("def f():\n    push('hello')\n", "constant"),
+        ("def f():\n    push(1 < 2 < 3)\n", "chained"),
+        ("def f():\n    push(vec[0:2])\n", "slice"),
+    ])
+    def test_rejects_with_message(self, src, fragment):
+        with pytest.raises(FrontendError) as exc:
+            lift_code(src)
+        assert fragment.lower() in str(exc.value).lower()
+
+    def test_error_mentions_line(self):
+        with pytest.raises(FrontendError) as exc:
+            lift_code("def f():\n    push(1.0)\n    while 1:\n        pass\n")
+        assert "line 3" in str(exc.value)
+
+
+class TestNodeUtilities:
+    def test_free_vars(self):
+        wf = lift_code("def f(n, a):\n    push(a * n + peek(n - 1))\n")
+        assert N.free_vars(wf.body[0].value) == {"a", "n"}
+
+    def test_substitute(self):
+        expr = N.BinOp("+", N.Var("x"), N.Const(1))
+        result = N.substitute(expr, {"x": N.Const(41)})
+        assert str(result) == "(41 + 1)"
+
+    def test_substitute_with_python_number(self):
+        expr = N.Var("x")
+        assert N.substitute(expr, {"x": 7}).value == 7
+
+    def test_walk_covers_nested(self):
+        wf = lift_code("""
+def f(n):
+    for i in range(n):
+        if i > 0:
+            push(peek(i))
+""")
+        assert sum(1 for x in wf.walk() if isinstance(x, N.Peek)) == 1
+
+    def test_index_arrays(self):
+        wf = lift_code("def f(i):\n    push(a[i] + b[i + 1])\n")
+        assert N.index_arrays(wf) == {"a", "b"}

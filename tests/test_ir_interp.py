@@ -1,0 +1,129 @@
+"""Tests for the work-function reference interpreter."""
+
+import math
+
+import pytest
+
+from repro.ir import StreamUnderflow, lift_code, run_work
+from repro.ir.interp import WorkInterpreter
+
+
+class TestBasics:
+    def test_sum(self):
+        wf = lift_code("""
+def total(n):
+    acc = 0.0
+    for i in range(n):
+        acc = acc + pop()
+    push(acc)
+""")
+        assert run_work(wf, [1, 2, 3, 4], {"n": 4}) == [10]
+
+    def test_multiple_outputs_per_invocation(self):
+        wf = lift_code("""
+def double(n):
+    for i in range(n):
+        x = pop()
+        push(x)
+        push(2 * x)
+""")
+        assert run_work(wf, [1, 2], {"n": 2}) == [1, 2, 2, 4]
+
+    def test_peek_does_not_consume(self):
+        wf = lift_code("""
+def f():
+    a = peek(1)
+    b = pop()
+    c = pop()
+    push(a + b + c)
+""")
+        assert run_work(wf, [10, 20], {}) == [50]
+
+    def test_cursor_advances_across_invocations(self):
+        wf = lift_code("def f():\n    push(pop() * 10)\n")
+        assert run_work(wf, [1, 2, 3], {}, invocations=3) == [10, 20, 30]
+
+    def test_state_persists(self):
+        wf = lift_code("""
+def counter():
+    count = count + 1
+    push(count)
+""")
+        out = run_work(wf, [], {}, state={"count": 0}, invocations=3)
+        assert out == [1, 2, 3]
+
+    def test_intrinsics(self):
+        wf = lift_code("def f(x):\n    push(sqrt(x) + abs(0 - 2) + "
+                       "max(1, 2) + min(1, 2))\n")
+        assert run_work(wf, [], {"x": 9.0}) == [3 + 2 + 2 + 1]
+
+    def test_math_intrinsics(self):
+        wf = lift_code("def f(x):\n    push(exp(x) * cos(0) + sin(0) + "
+                       "log(x) + floor(2.7))\n")
+        (out,) = run_work(wf, [], {"x": 1.0})
+        assert out == pytest.approx(math.e + 2.0)
+
+    def test_select_short_circuits(self):
+        wf = lift_code("def f(x):\n    push(sqrt(x) if x >= 0 else 0.0)\n")
+        assert run_work(wf, [], {"x": -4.0}) == [0.0]
+
+    def test_integer_and_modulo_ops(self):
+        wf = lift_code("def f(n):\n    push(n // 3)\n    push(n % 3)\n    "
+                       "push(n ** 2)\n")
+        assert run_work(wf, [], {"n": 7}) == [2, 1, 49]
+
+    def test_aux_array_indexing(self):
+        wf = lift_code("def f(n):\n    for i in range(n):\n"
+                       "        push(v[i] * pop())\n")
+        out = run_work(wf, [1, 2, 3], {"n": 3, "v": [10, 20, 30]})
+        assert out == [10, 40, 90]
+
+
+class TestErrors:
+    def test_underflow_raises(self):
+        wf = lift_code("def f():\n    push(pop() + pop())\n")
+        with pytest.raises(StreamUnderflow):
+            run_work(wf, [1], {})
+
+    def test_negative_peek_raises(self):
+        wf = lift_code("def f():\n    push(peek(0 - 1))\n")
+        with pytest.raises(StreamUnderflow):
+            run_work(wf, [1], {})
+
+    def test_unbound_variable(self):
+        wf = lift_code("def f():\n    push(mystery)\n")
+        with pytest.raises(NameError):
+            run_work(wf, [], {})
+
+    def test_unbound_aux_array(self):
+        wf = lift_code("def f():\n    push(v[0])\n")
+        with pytest.raises(NameError):
+            run_work(wf, [], {})
+
+
+class TestInterpreterObject:
+    def test_run_returns_cursor(self):
+        wf = lift_code("def f():\n    push(pop())\n")
+        interp = WorkInterpreter(wf, {})
+        out, cursor = interp.run([5, 6], 0)
+        assert out == [5] and cursor == 1
+        out, cursor = interp.run([5, 6], cursor)
+        assert out == [6] and cursor == 2
+
+    def test_boolean_operators(self):
+        wf = lift_code("def f(a, b):\n"
+                       "    push(1.0 if (a > 0 and b > 0) else 0.0)\n"
+                       "    push(1.0 if (a > 0 or b > 0) else 0.0)\n"
+                       "    push(1.0 if not (a > 0) else 0.0)\n")
+        assert run_work(wf, [], {"a": 1, "b": -1}) == [0.0, 1.0, 0.0]
+
+    def test_nested_loops(self):
+        wf = lift_code("""
+def f(r, c):
+    for i in range(r):
+        acc = 0.0
+        for j in range(c):
+            acc = acc + pop()
+        push(acc)
+""")
+        assert run_work(wf, [1, 2, 3, 4, 5, 6], {"r": 2, "c": 3}) == [6, 15]

@@ -1,0 +1,279 @@
+"""Tests for actor pattern matching (the compiler's classification stage)."""
+
+import pytest
+
+from repro.ir import classify, lift_code, parallelizable_loop
+from repro.ir import nodes as N
+
+from workloads import (ISAMAX_SRC, SASUM_SRC, SAXPY_SRC, SCALE_SRC, SDOT_SRC,
+                      SNRM2_SRC, STENCIL5_SRC, SUM_SRC)
+
+
+class TestReduction:
+    def test_sum(self):
+        c = classify(lift_code(SUM_SRC))
+        assert c.category == "reduction"
+        assert c.pattern.kind == "+"
+        assert c.pattern.pops_per_iter == 1
+        assert str(c.pattern.epilogue) == "_acc"
+
+    def test_sdot_two_pops(self):
+        c = classify(lift_code(SDOT_SRC))
+        assert c.category == "reduction"
+        assert c.pattern.pops_per_iter == 2
+        assert str(c.pattern.element) == "(_x0 * _x1)"
+
+    def test_snrm2_temp_and_epilogue(self):
+        c = classify(lift_code(SNRM2_SRC))
+        assert c.category == "reduction"
+        assert str(c.pattern.element) == "(_x0 * _x0)"
+        assert str(c.pattern.epilogue) == "sqrt(_acc)"
+
+    def test_sasum_abs(self):
+        c = classify(lift_code(SASUM_SRC))
+        assert c.category == "reduction"
+        assert str(c.pattern.element) == "abs(_x0)"
+
+    def test_max_via_call(self):
+        c = classify(lift_code("""
+def mx(n):
+    best = -1e30
+    for i in range(n):
+        best = max(best, pop())
+    push(best)
+"""))
+        assert c.category == "reduction"
+        assert c.pattern.kind == "max"
+
+    def test_product(self):
+        c = classify(lift_code("""
+def prod(n):
+    acc = 1.0
+    for i in range(n):
+        acc = acc * pop()
+    push(acc)
+"""))
+        assert c.pattern.kind == "*"
+
+    def test_element_may_use_aux_array(self):
+        c = classify(lift_code("""
+def gemv_row(n):
+    acc = 0.0
+    for i in range(n):
+        acc = acc + pop() * vec[i]
+    push(acc)
+"""))
+        assert c.category == "reduction"
+        assert "vec[_i]" in str(c.pattern.element)
+
+    def test_subtraction_not_a_reduction(self):
+        c = classify(lift_code("""
+def sub(n):
+    acc = 0.0
+    for i in range(n):
+        acc = acc - pop()
+    push(acc)
+"""))
+        assert c.category != "reduction"
+
+    def test_division_not_a_reduction(self):
+        c = classify(lift_code("""
+def dv(n):
+    acc = 1.0
+    for i in range(n):
+        acc = acc / pop()
+    push(acc)
+"""))
+        assert c.category != "reduction"
+
+    def test_peek_in_element_rejected(self):
+        c = classify(lift_code("""
+def s(n):
+    acc = 0.0
+    for i in range(n):
+        acc = acc + peek(i)
+    push(acc)
+    for j in range(n):
+        _ = pop()
+"""))
+        assert c.category != "reduction"
+
+
+class TestArgReduce:
+    def test_isamax(self):
+        c = classify(lift_code(ISAMAX_SRC))
+        assert c.category == "argreduce"
+        assert c.pattern.cmp == ">"
+        assert str(c.pattern.element) == "abs(_x0)"
+        assert not c.pattern.pushes_value
+
+    def test_isamin(self):
+        c = classify(lift_code("""
+def isamin(n):
+    best = 1e30
+    besti = 0
+    for i in range(n):
+        x = abs(pop())
+        if x < best:
+            best = x
+            besti = i
+    push(besti)
+"""))
+        assert c.category == "argreduce"
+        assert c.pattern.cmp == "<"
+
+    def test_pushes_value_too(self):
+        c = classify(lift_code("""
+def amax(n):
+    best = -1e30
+    besti = 0
+    for i in range(n):
+        x = pop()
+        if x > best:
+            best = x
+            besti = i
+    push(besti)
+    push(best)
+"""))
+        assert c.category == "argreduce"
+        assert c.pattern.pushes_value
+
+
+class TestMap:
+    def test_scale(self):
+        c = classify(lift_code(SCALE_SRC))
+        assert c.category == "map"
+        assert c.pattern.pops_per_iter == 1
+        assert c.pattern.pushes_per_iter == 1
+
+    def test_saxpy(self):
+        c = classify(lift_code(SAXPY_SRC))
+        assert c.category == "map"
+        assert c.pattern.pops_per_iter == 2
+        assert str(c.pattern.outputs[0]) == "((a * _x0) + _x1)"
+
+    def test_map_may_use_index(self):
+        c = classify(lift_code("""
+def ramp(n):
+    for i in range(n):
+        push(pop() + i)
+"""))
+        assert c.category == "map"
+        assert "_i" in str(c.pattern.outputs[0])
+
+    def test_carried_dep_not_map(self):
+        c = classify(lift_code("""
+def prefix(n):
+    acc = 0.0
+    for i in range(n):
+        acc = acc + pop()
+        push(acc)
+"""))
+        assert c.category == "generic"
+
+
+class TestStencil:
+    def test_five_point(self):
+        c = classify(lift_code(STENCIL5_SRC))
+        assert c.category == "stencil"
+        offsets = [str(o) for o in c.pattern.offsets]
+        assert "(0 - width)" in offsets and "width" in offsets
+        assert c.pattern.is_2d
+        assert c.pattern.width_param == "width"
+        assert c.pattern.guard is not None
+        assert c.pattern.guard_else is not None
+
+    def test_1d_window(self):
+        c = classify(lift_code("""
+def blur3(size):
+    for index in range(size):
+        if (index >= 1) and (index < size - 1):
+            push((peek(index - 1) + peek(index) + peek(index + 1)) / 3)
+        else:
+            push(peek(index))
+    for j in range(size):
+        _ = pop()
+"""))
+        assert c.category == "stencil"
+        assert not c.pattern.is_2d
+        assert len(c.pattern.offsets) == 3
+
+    def test_strided_peek_not_stencil(self):
+        c = classify(lift_code("""
+def skip(size):
+    for index in range(size):
+        push(peek(2 * index) + peek(2 * index + 1))
+    for j in range(2 * size):
+        _ = pop()
+"""))
+        assert c.category != "stencil"
+
+
+class TestTransfer:
+    def test_transpose(self):
+        c = classify(lift_code("""
+def transpose(rows, cols):
+    for i in range(rows * cols):
+        push(peek((i % rows) * cols + i // rows))
+"""))
+        assert c.category == "transfer"
+
+    def test_reverse(self):
+        c = classify(lift_code("""
+def rev(n):
+    for i in range(n):
+        push(peek(n - 1 - i))
+"""))
+        assert c.category == "transfer"
+
+    def test_computation_disqualifies(self):
+        c = classify(lift_code("""
+def notquite(n):
+    for i in range(n):
+        push(peek(n - 1 - i) * 2)
+"""))
+        assert c.category != "transfer"
+
+
+class TestParallelizable:
+    def test_map_loop_is_parallel(self):
+        result = parallelizable_loop(lift_code(SCALE_SRC))
+        loop, recs = result
+        assert recs == {}
+
+    def test_induction_recurrence_breakable(self):
+        result = parallelizable_loop(lift_code("""
+def g(n):
+    addr = 0
+    for i in range(n):
+        addr = addr + 4
+        push(addr)
+    push(addr)
+"""))
+        assert result is not None
+        _loop, recs = result
+        assert "addr" in recs
+
+    def test_true_dependence_not_parallel(self):
+        assert parallelizable_loop(lift_code("""
+def h(n):
+    prev = 0.0
+    for i in range(n):
+        prev = prev * 0.5 + pop()
+        push(prev)
+""")) is None
+
+
+class TestGenericFallback:
+    def test_unmatched_is_generic(self):
+        c = classify(lift_code("""
+def odd(n):
+    a = pop()
+    b = pop()
+    if a > b:
+        push(a)
+    else:
+        push(b)
+"""))
+        assert c.category == "generic"
+        assert c.pattern is None

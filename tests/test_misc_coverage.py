@@ -1,0 +1,135 @@
+"""Coverage for smaller surfaces: Dim3/2-D launches, rate expressions,
+IR pretty-printing, model classification API, shared helpers."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Device, Dim3, Kernel, LaunchConfig, TESLA_C2050
+from repro.ir import lift_code, parse_expr
+from repro.ir import nodes as N
+from repro.ir.rates import ONE, ZERO, RateExpr
+from repro.perfmodel import KernelCategory, KernelWorkload, PerformanceModel
+
+
+class TestDim3AndLaunch:
+    def test_dim3_of_forms(self):
+        assert Dim3.of(4) == Dim3(4)
+        assert Dim3.of((2, 3)) == Dim3(2, 3)
+        assert Dim3.of(Dim3(1, 2, 3)).count == 6
+
+    def test_launch_config_helpers(self):
+        config = LaunchConfig.of((4, 2), 96)
+        assert config.blocks == 8
+        assert config.total_threads == 8 * 96
+        assert config.warps_per_block(32) == 3
+
+    def test_2d_grid_execution(self):
+        dev = Device(TESLA_C2050)
+        out = dev.alloc(6 * 4, name="out")
+
+        def body(ctx):
+            ctx.gstore(ctx.args["out"],
+                       ctx.block_linear * ctx.bdim.count
+                       + ctx.thread_linear,
+                       ctx.by * 10 + ctx.bx)
+
+        dev.launch(Kernel("grid2d", body), grid=(3, 2), block=4,
+                   args={"out": out})
+        # Block (bx, by) writes by*10+bx into its 4 slots, x fastest.
+        expected = []
+        for by in range(2):
+            for bx in range(3):
+                expected += [by * 10 + bx] * 4
+        assert np.array_equal(out.data, expected)
+
+
+class TestRateExpr:
+    def test_constants(self):
+        assert ZERO.evaluate({}) == 0
+        assert ONE.evaluate({}) == 1
+        assert RateExpr(7).is_constant
+
+    def test_free_params(self):
+        assert RateExpr("2*n + m").free_params() == {"n", "m"}
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            RateExpr("n - 10").evaluate({"n": 3})
+
+    def test_bad_source_type(self):
+        with pytest.raises(TypeError):
+            RateExpr([1, 2])
+
+    def test_bad_expression_text(self):
+        from repro.ir import FrontendError
+        with pytest.raises(FrontendError):
+            RateExpr("n +")
+
+    def test_repr_and_str(self):
+        r = RateExpr("2*n")
+        assert "2" in str(r) and "n" in str(r)
+        assert "RateExpr" in repr(r)
+
+
+class TestIrPrinting:
+    def test_work_function_str(self):
+        work = lift_code("""
+def f(n):
+    acc = 0.0
+    for i in range(n):
+        if i > 0:
+            acc = acc + pop()
+    push(sqrt(acc) + peek(0) + v[i])
+""")
+        text = str(work)
+        assert "work f(n):" in text
+        assert "for i in range(0, n)" in text
+        assert "pop()" in text and "peek(0)" in text and "v[i]" in text
+
+    def test_expr_strs(self):
+        assert str(parse_expr("a + b * 2")) == "(a + (b * 2))"
+        assert str(N.UnaryOp("-", N.Var("x"))) == "(- x)"
+        assert str(N.Call("max", [N.Var("a"), N.Const(0)])) == "max(a, 0)"
+
+    def test_helper_constructors(self):
+        assert N.add(N.const(1), N.var("x")).op == "+"
+        assert N.mul(N.const(2), N.const(3)).op == "*"
+        assert N.count_nodes(parse_expr("a + b + c"), N.BinOp) == 2
+
+
+class TestModelApi:
+    def test_classify_shortcut(self):
+        model = PerformanceModel(TESLA_C2050)
+        work = KernelWorkload(blocks=2000, threads_per_block=256,
+                              comp_insts=64.0, coal_mem_insts=64.0)
+        assert model.classify(work) in (KernelCategory.MEMORY_BOUND,
+                                        KernelCategory.COMPUTE_BOUND)
+
+    def test_launch_seconds_adds_overhead(self):
+        model = PerformanceModel(TESLA_C2050)
+        work = KernelWorkload(blocks=14, threads_per_block=256,
+                              comp_insts=10.0, coal_mem_insts=1.0)
+        bare = model.estimate(work).seconds
+        assert model.launch_seconds(work) == pytest.approx(
+            bare + TESLA_C2050.kernel_launch_overhead_us * 1e-6)
+
+    def test_estimate_repr_readable(self):
+        model = PerformanceModel(TESLA_C2050)
+        work = KernelWorkload(blocks=100, threads_per_block=256,
+                              comp_insts=100.0, coal_mem_insts=10.0)
+        text = repr(model.estimate(work))
+        assert "bound" in text and "us" in text
+
+
+class TestDeviceHelpers:
+    def test_alloc_from_no_transfer_cost(self):
+        dev = Device(TESLA_C2050)
+        before = dev.transfer_seconds
+        dev.alloc_from(np.arange(4.0))
+        assert dev.transfer_seconds == before
+
+    def test_transfer_record_seconds(self):
+        from repro.gpu import TransferRecord
+        small = TransferRecord("h2d", 4)
+        large = TransferRecord("h2d", 1 << 30)
+        assert large.seconds > small.seconds > 0

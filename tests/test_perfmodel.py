@@ -1,0 +1,164 @@
+"""Tests for the analytic performance model and break-even machinery."""
+
+import math
+
+import pytest
+
+from repro.gpu import GTX_285, TESLA_C2050
+from repro.perfmodel import (KernelCategory, KernelWorkload,
+                             PerformanceModel, Variant, argmin_variant,
+                             geometric_points, sweep)
+
+
+@pytest.fixture
+def model():
+    return PerformanceModel(TESLA_C2050)
+
+
+def streaming_workload(blocks, threads=256, loads_per_warp=64.0):
+    """A bandwidth-streaming kernel: light compute per load."""
+    return KernelWorkload(
+        blocks=blocks, threads_per_block=threads,
+        comp_insts=loads_per_warp * 2, coal_mem_insts=loads_per_warp,
+        regs_per_thread=16, shared_per_block=0)
+
+
+class TestClassification:
+    def test_memory_bound_when_streaming(self, model):
+        est = model.estimate(streaming_workload(blocks=2000))
+        assert est.category is KernelCategory.MEMORY_BOUND
+
+    def test_compute_bound_when_flops_dominate(self, model):
+        work = KernelWorkload(blocks=2000, threads_per_block=256,
+                              comp_insts=10000.0, coal_mem_insts=2.0)
+        est = model.estimate(work)
+        assert est.category is KernelCategory.COMPUTE_BOUND
+
+    def test_latency_bound_with_few_blocks(self, model):
+        est = model.estimate(streaming_workload(blocks=2))
+        assert est.category is KernelCategory.LATENCY_BOUND
+
+    def test_latency_bound_from_shared_pressure(self, model):
+        work = KernelWorkload(blocks=2000, threads_per_block=256,
+                              comp_insts=100.0, coal_mem_insts=50.0,
+                              shared_per_block=40 * 1024)
+        est = model.estimate(work)
+        # Only one block fits per SM -> 8 warps; still above threshold,
+        # but fewer active warps than the unconstrained case.
+        unconstrained = model.estimate(streaming_workload(2000))
+        assert est.active_warps < unconstrained.active_warps
+
+    def test_pure_compute_no_memory(self, model):
+        work = KernelWorkload(blocks=100, threads_per_block=256,
+                              comp_insts=1000.0, coal_mem_insts=0.0)
+        est = model.estimate(work)
+        assert est.category is KernelCategory.COMPUTE_BOUND
+        assert math.isfinite(est.cycles)
+
+
+class TestMonotonicity:
+    def test_more_work_takes_longer(self, model):
+        t1 = model.estimate(streaming_workload(100, loads_per_warp=32)).seconds
+        t2 = model.estimate(streaming_workload(100, loads_per_warp=64)).seconds
+        assert t2 > t1
+
+    def test_uncoalesced_slower_than_coalesced(self, model):
+        coal = KernelWorkload(blocks=500, threads_per_block=256,
+                              comp_insts=128.0, coal_mem_insts=64.0)
+        uncoal = KernelWorkload(blocks=500, threads_per_block=256,
+                                comp_insts=128.0, coal_mem_insts=0.0,
+                                uncoal_mem_insts=64.0, uncoal_degree=32.0)
+        assert (model.estimate(uncoal).seconds
+                > 2 * model.estimate(coal).seconds)
+
+    def test_tiny_blocks_dominated_by_overhead(self, model):
+        # Same total work split over 100x more blocks costs more.
+        few = streaming_workload(blocks=1000, loads_per_warp=100)
+        many = streaming_workload(blocks=100000, loads_per_warp=1)
+        assert model.estimate(many).seconds > model.estimate(few).seconds
+
+    def test_unrunnable_config_is_infinite(self, model):
+        work = KernelWorkload(blocks=10, threads_per_block=256,
+                              comp_insts=10.0, coal_mem_insts=10.0,
+                              shared_per_block=64 * 1024)
+        assert model.estimate(work).seconds == math.inf
+
+    def test_zero_blocks_is_zero_time(self, model):
+        work = KernelWorkload(blocks=0, threads_per_block=256,
+                              comp_insts=1.0, coal_mem_insts=1.0)
+        assert model.estimate(work).seconds == 0.0
+
+
+class TestFigure1Shape:
+    """The TMV three-regime curve: low utilization / efficient / overhead."""
+
+    def _gflops(self, model, rows, total=4 * 1024 * 1024):
+        cols = total // rows
+        threads = 256
+        warps = threads // 32
+        loads = 2 * cols / 32 / warps
+        work = KernelWorkload(
+            blocks=rows, threads_per_block=threads,
+            comp_insts=loads * 2, coal_mem_insts=loads,
+            synch_insts=8, regs_per_thread=18,
+            shared_per_block=threads * 4)
+        secs = (model.estimate(work).seconds
+                + model.spec.kernel_launch_overhead_us * 1e-6)
+        return 2 * total / secs / 1e9
+
+    def test_three_regimes(self, model):
+        low_util = self._gflops(model, rows=4)
+        efficient = self._gflops(model, rows=2048)
+        overhead = self._gflops(model, rows=1024 * 1024)
+        assert efficient > 3 * low_util
+        assert efficient > 10 * overhead
+
+    def test_both_targets_show_the_shape(self):
+        for spec in (TESLA_C2050, GTX_285):
+            m = PerformanceModel(spec)
+            assert self._gflops(m, 2048) > 2 * self._gflops(m, 4)
+
+
+class TestBreakeven:
+    def test_sweep_picks_pointwise_winner(self):
+        fast_small = Variant("small", lambda n: n * 1.0)
+        fast_large = Variant("large", lambda n: 100 + n * 0.1)
+        table = sweep([fast_small, fast_large], [1, 10, 100, 1000, 10000])
+        assert table.choices[1] == "small"
+        assert table.choices[10000] == "large"
+        assert table.winners == ["small", "large"]
+        assert len(table.subranges) == 2
+
+    def test_crossover_location(self):
+        a = Variant("a", lambda n: n * 1.0)
+        b = Variant("b", lambda n: 100 + n * 0.1)
+        table = sweep([a, b], list(range(50, 200, 10)))
+        boundary = next(s for s in table.subranges if s.variant == "a").hi
+        assert 100 <= boundary <= 120  # analytic crossover at ~111
+
+    def test_infinite_variant_never_selected(self):
+        a = Variant("a", lambda n: math.inf)
+        b = Variant("b", lambda n: 1.0)
+        table = sweep([a, b], [1, 2])
+        assert set(table.choices.values()) == {"b"}
+
+    def test_all_infinite_raises(self):
+        a = Variant("a", lambda n: math.inf)
+        with pytest.raises(ValueError):
+            sweep([a], [1])
+
+    def test_argmin_variant(self):
+        a = Variant("a", lambda n: n)
+        b = Variant("b", lambda n: 10 - n)
+        assert argmin_variant([a, b], 2).name == "a"
+        assert argmin_variant([a, b], 9).name == "b"
+
+    def test_geometric_points_cover_endpoints(self):
+        points = geometric_points(64, 4096, 7)
+        assert points[0] == 64 and points[-1] == 4096
+        assert points == sorted(points)
+
+    def test_geometric_points_degenerate(self):
+        assert geometric_points(8, 8, 5) == [8]
+        with pytest.raises(ValueError):
+            geometric_points(0, 10, 3)

@@ -1,0 +1,126 @@
+"""Tests for the compiled-program runtime: selection, reporting, transfers."""
+
+import numpy as np
+import pytest
+
+from repro import (AdapticOptions, Filter, GTX_480, Pipeline, StreamProgram,
+                   compile_program)
+from repro.compiler import AdapticCompiler
+from repro.gpu import Device, TESLA_C2050
+
+from workloads import SCALE_SRC, SUM_SRC
+
+
+def sum_program(**kwargs):
+    defaults = dict(params=["n", "r"], input_size="n*r",
+                    input_ranges={"n": (256, 1 << 20)})
+    defaults.update(kwargs)
+    return StreamProgram(Filter(SUM_SRC, pop="n", push=1), **defaults)
+
+
+class TestRunResult:
+    def test_selection_report_fields(self, rng):
+        compiled = compile_program(sum_program())
+        data = rng.standard_normal(128)
+        result = compiled.run(data, {"n": 128, "r": 1})
+        (sel,) = result.selections
+        assert sel.kind == "reduction"
+        assert sel.predicted_seconds > 0
+        assert "actor_segmentation" in sel.optimizations or sel.optimizations
+        assert result.predicted_total_seconds > \
+            result.predicted_kernel_seconds
+        assert result.strategy_of(sel.segment) == sel.strategy
+        with pytest.raises(KeyError):
+            result.strategy_of("nonexistent")
+
+    def test_run_reuses_supplied_device(self, rng):
+        compiled = compile_program(sum_program())
+        device = Device(TESLA_C2050)
+        compiled.run(rng.standard_normal(64), {"n": 64, "r": 1},
+                     device=device)
+        assert device.launch_count >= 1
+        assert device.transfer_seconds > 0
+
+
+class TestTransferAccounting:
+    def test_transfer_scales_with_input(self):
+        compiled = compile_program(sum_program())
+        small = compiled.transfer_seconds({"n": 1 << 10, "r": 1})
+        large = compiled.transfer_seconds({"n": 1 << 22, "r": 1})
+        assert large > 10 * small
+
+    def test_predicted_with_and_without_transfers(self):
+        compiled = compile_program(sum_program())
+        params = {"n": 1 << 16, "r": 1}
+        with_t = compiled.predicted_seconds(params)
+        without = compiled.predicted_seconds(params,
+                                             include_transfers=False)
+        assert with_t > without
+
+
+class TestRangeReport:
+    def test_single_axis_subranges(self):
+        compiled = compile_program(sum_program())
+        report = compiled.range_report(samples=10, extra_params={"r": 1})
+        assert "->" in report
+        assert "reduce.two_kernel" in report
+        # Subranges must cover the endpoints.
+        assert "256" in report and str(1 << 20) in report
+
+    def test_no_ranges_declared(self):
+        prog = sum_program(input_ranges={})
+        compiled = compile_program(prog)
+        assert "no input ranges" in compiled.range_report()
+
+    def test_multi_axis_lists_points(self):
+        prog = sum_program(input_ranges={"n": (256, 4096),
+                                         "r": (1, 64)})
+        compiled = compile_program(prog)
+        report = compiled.range_report(samples=3)
+        assert "segment" in report and "->" in report
+
+
+class TestMultiSegmentExecution:
+    def test_chain_runs_and_accounts_each_segment(self, rng):
+        prog = StreamProgram(
+            Pipeline(Filter(SCALE_SRC, pop="n", push="n"),
+                     Filter(SUM_SRC, pop="n", push=1)),
+            params=["n", "a"], input_size="n")
+        options = AdapticOptions(integration=False)
+        compiled = AdapticCompiler(TESLA_C2050, options).compile(prog)
+        assert len(compiled.segments) == 2
+        data = rng.standard_normal(96)
+        result = compiled.run(data, {"n": 96, "a": 2.0})
+        assert len(result.selections) == 2
+        assert result.output[0] == pytest.approx(2.0 * data.sum())
+
+    def test_force_per_segment(self, rng):
+        prog = StreamProgram(
+            Pipeline(Filter(SCALE_SRC, pop="n", push="n"),
+                     Filter(SUM_SRC, pop="n", push=1)),
+            params=["n", "a"], input_size="n")
+        options = AdapticOptions(integration=False)
+        compiled = AdapticCompiler(TESLA_C2050, options).compile(prog)
+        seg0, seg1 = compiled.segments
+        data = rng.standard_normal(64)
+        result = compiled.run(
+            data, {"n": 64, "a": 0.5},
+            force={seg1.name: "reduce.two_kernel"})
+        assert result.selections[1].strategy == "reduce.two_kernel"
+
+
+class TestThirdTarget:
+    def test_gtx480_compiles_and_runs(self, rng):
+        compiled = AdapticCompiler(GTX_480).compile(sum_program())
+        data = rng.standard_normal(256)
+        result = compiled.run(data, {"n": 256, "r": 1})
+        assert result.output[0] == pytest.approx(data.sum())
+
+    def test_targets_can_disagree_on_selection(self):
+        # Different shared-memory and SM counts can shift break-evens;
+        # at minimum both targets must produce valid selections.
+        for spec in (TESLA_C2050, GTX_480):
+            compiled = AdapticCompiler(spec).compile(sum_program())
+            plan = compiled.select({"n": 1 << 18, "r": 1})[0]
+            assert plan.predicted_seconds(compiled.model,
+                                          {"n": 1 << 18, "r": 1}) > 0

@@ -1,0 +1,185 @@
+"""Tests for the StreamIt layer: structures, flattening, scheduling, interp."""
+
+import numpy as np
+import pytest
+
+from repro.streamit import (Duplicate, FeedbackLoop, Filter, FlattenError,
+                            Pipeline, RateMatchError, SplitJoin,
+                            StreamProgram, flatten, rate_match, roundrobin,
+                            run_program)
+
+from workloads import SCALE_SRC, SUM_SRC
+
+
+class TestStructures:
+    def test_filter_rates(self):
+        f = Filter(SUM_SRC, pop="n", push=1)
+        assert f.rates({"n": 8}) == (8, 8, 1)
+
+    def test_peek_defaults_to_pop(self):
+        f = Filter(SCALE_SRC, pop="n", push="n")
+        assert f.peek.evaluate({"n": 5}) == 5
+
+    def test_peek_below_pop_rejected(self):
+        f = Filter(SUM_SRC, pop="n", push=1, peek="n - 1")
+        with pytest.raises(ValueError):
+            f.rates({"n": 4})
+
+    def test_undeclared_const_array_rejected(self):
+        with pytest.raises(ValueError) as exc:
+            Filter("def f(n):\n    for i in range(n):\n"
+                   "        push(v[i] * pop())\n", pop="n", push="n")
+        assert "consts" in str(exc.value)
+
+    def test_program_validates_params(self):
+        f = Filter(SCALE_SRC, pop="n", push="n")
+        with pytest.raises(ValueError):
+            StreamProgram(f, params=["n"])  # work also needs 'a'
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline()
+
+    def test_splitjoin_weight_broadcast(self):
+        sj = SplitJoin(roundrobin(2), [Filter(SCALE_SRC, pop=2, push=2),
+                                       Filter(SCALE_SRC, pop=2, push=2)],
+                       roundrobin(2))
+        assert len(sj.splitter.weights) == 2
+        assert len(sj.joiner.weights) == 2
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ValueError):
+            SplitJoin(roundrobin(1, 2, 3),
+                      [Filter(SCALE_SRC, pop=1, push=1)], roundrobin(1))
+
+
+class TestFlattening:
+    def test_pipeline_chain(self):
+        p = Pipeline(Filter(SCALE_SRC, pop=1, push=1, name="a"),
+                     Filter(SCALE_SRC, pop=1, push=1, name="b"))
+        g = flatten(p)
+        assert len(g.nodes) == 2
+        assert len(g.channels) == 1
+        assert g.entry.filter.name == "a"
+        assert g.exit.filter.name == "b"
+
+    def test_splitjoin_has_split_and_join_nodes(self):
+        sj = SplitJoin(Duplicate(), [Filter(SUM_SRC, pop="n", push=1),
+                                     Filter(SUM_SRC, pop="n", push=1)],
+                       roundrobin(1))
+        g = flatten(sj)
+        kinds = sorted(n.kind for n in g.nodes)
+        assert kinds == ["filter", "filter", "join", "split"]
+        assert len(g.channels) == 4
+
+    def test_topological_order(self):
+        sj = SplitJoin(Duplicate(), [Filter(SUM_SRC, pop="n", push=1)],
+                       roundrobin(1))
+        g = flatten(Pipeline(Filter(SCALE_SRC, pop=1, push=1), sj))
+        order = [n.kind for n in g.topological_order()]
+        assert order.index("split") < order.index("join")
+
+    def test_feedback_loop_rejected(self):
+        loop = FeedbackLoop(Filter(SCALE_SRC, pop=1, push=1),
+                            Filter(SCALE_SRC, pop=1, push=1),
+                            roundrobin(1, 1), roundrobin(1, 1))
+        with pytest.raises(FlattenError):
+            flatten(loop)
+
+
+class TestScheduling:
+    def test_single_filter(self):
+        g = flatten(Filter(SUM_SRC, pop="n", push=1))
+        s = rate_match(g, {"n": 16})
+        assert s.repetitions[g.entry.id] == 1
+        assert s.inputs_per_steady == 16
+        assert s.outputs_per_steady == 1
+
+    def test_rate_mismatch_multiplies_repetitions(self):
+        # a produces 3/firing, b consumes 2/firing -> reps (2, 3).
+        a = Filter("def a():\n    push(pop())\n    push(1.0)\n    push(2.0)\n",
+                   pop=1, push=3, name="a")
+        b = Filter("def b():\n    push(pop() + pop())\n", pop=2, push=1,
+                   name="b")
+        g = flatten(Pipeline(a, b))
+        s = rate_match(g, {})
+        reps = [s.repetitions[n.id] for n in g.topological_order()]
+        assert reps == [2, 3]
+
+    def test_duplicate_splitter_rates(self):
+        sj = SplitJoin(Duplicate(), [Filter(SUM_SRC, pop="n", push=1),
+                                     Filter(SUM_SRC, pop="n", push=1)],
+                       roundrobin(1))
+        g = flatten(sj)
+        s = rate_match(g, {"n": 4})
+        split = next(n for n in g.nodes if n.kind == "split")
+        filt = next(n for n in g.nodes if n.kind == "filter")
+        assert s.repetitions[split.id] == 4 * s.repetitions[filt.id]
+
+    def test_buffer_sizes_include_peek_margin(self):
+        a = Filter(SCALE_SRC, pop=1, push=1, name="a")
+        b = Filter("def b(w):\n    push(peek(0) + peek(1))\n    _ = pop()\n",
+                   pop=1, push=1, peek=2, name="b")
+        g = flatten(Pipeline(a, b))
+        s = rate_match(g, {"w": 0})
+        assert s.buffer_sizes[0] == 2  # 1 produced + 1 peek margin
+
+    def test_inconsistent_rates_raise(self):
+        # Duplicate splitter forces equal consumption, but the joiner
+        # demands a 2:1 output ratio from equal-rate branches.
+        sj = SplitJoin(Duplicate(),
+                       [Filter(SCALE_SRC, pop=1, push=1),
+                        Filter(SCALE_SRC, pop=1, push=1)],
+                       roundrobin(2, 1))
+        with pytest.raises(RateMatchError):
+            rate_match(flatten(sj), {"a": 1})
+
+
+class TestExecution:
+    def test_pipeline(self, rng):
+        prog = StreamProgram(
+            Pipeline(Filter(SCALE_SRC, pop="n", push="n"),
+                     Filter(SUM_SRC, pop="n", push=1)),
+            params=["n", "a"])
+        data = rng.standard_normal(32)
+        out = run_program(prog, data, {"n": 32, "a": 3.0})
+        assert out[0] == pytest.approx(3.0 * data.sum())
+
+    def test_duplicate_splitjoin(self, rng):
+        max_src = """
+def mx(n):
+    best = -1e30
+    for i in range(n):
+        best = max(best, pop())
+    push(best)
+"""
+        prog = StreamProgram(
+            SplitJoin(Duplicate(), [Filter(max_src, pop="n", push=1),
+                                    Filter(SUM_SRC, pop="n", push=1)],
+                      roundrobin(1)),
+            params=["n"])
+        data = rng.standard_normal(64)
+        out = run_program(prog, data, {"n": 64})
+        assert out[0] == pytest.approx(data.max())
+        assert out[1] == pytest.approx(data.sum())
+
+    def test_roundrobin_deinterleave(self):
+        scale1 = "def scale1(a):\n    push(a * pop())\n"
+        prog = StreamProgram(
+            SplitJoin(roundrobin(1, 1),
+                      [Filter(scale1, pop=1, push=1, name="s1"),
+                       Filter(scale1, pop=1, push=1, name="s2")],
+                      roundrobin(1, 1)),
+            params=["a"])
+        out = run_program(prog, np.arange(8.0), {"a": 10.0})
+        assert np.array_equal(out, 10 * np.arange(8.0))
+
+    def test_multiple_steady_states(self):
+        prog = StreamProgram(Filter(SUM_SRC, pop="n", push=1), params=["n"])
+        out = run_program(prog, np.arange(12.0), {"n": 4})
+        assert np.array_equal(out, [6, 22, 38])
+
+    def test_wrong_length_rejected(self):
+        prog = StreamProgram(Filter(SUM_SRC, pop="n", push=1), params=["n"])
+        with pytest.raises(Exception):
+            run_program(prog, np.arange(10.0), {"n": 4})

@@ -1,0 +1,75 @@
+"""Shared work-function sources used across the test suite."""
+
+# Work-function sources reused across tests.
+
+SUM_SRC = """
+def total(n):
+    acc = 0.0
+    for i in range(n):
+        acc = acc + pop()
+    push(acc)
+"""
+
+SDOT_SRC = """
+def sdot(n):
+    acc = 0.0
+    for i in range(n):
+        acc = acc + pop() * pop()
+    push(acc)
+"""
+
+SNRM2_SRC = """
+def snrm2(n):
+    acc = 0.0
+    for i in range(n):
+        x = pop()
+        acc = acc + x * x
+    push(sqrt(acc))
+"""
+
+SASUM_SRC = """
+def sasum(n):
+    acc = 0.0
+    for i in range(n):
+        acc = acc + abs(pop())
+    push(acc)
+"""
+
+ISAMAX_SRC = """
+def isamax(n):
+    best = -1.0
+    besti = 0
+    for i in range(n):
+        x = abs(pop())
+        if x > best:
+            best = x
+            besti = i
+    push(besti)
+"""
+
+SCALE_SRC = """
+def scale(n, a):
+    for i in range(n):
+        push(a * pop())
+"""
+
+SAXPY_SRC = """
+def saxpy(n, a):
+    for i in range(n):
+        x = pop()
+        y = pop()
+        push(a * x + y)
+"""
+
+STENCIL5_SRC = """
+def stencil5(size, width):
+    for index in range(size):
+        if (index % width >= 1) and (index % width < width - 1) \
+                and (index >= width) and (index < size - width):
+            push(0.25 * (peek(index - width) + peek(index + width)
+                         + peek(index - 1) + peek(index + 1)))
+        else:
+            push(peek(index))
+    for j in range(size):
+        _ = pop()
+"""
