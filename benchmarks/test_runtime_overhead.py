@@ -4,8 +4,9 @@
 completely executed on the CPU during the initial data transfer from CPU to
 GPU" (§3).  For that to be free, variant selection must cost (far) less
 than the transfer it hides under — this benchmark measures the actual
-Python-side dispatch latency and checks it against the modeled transfer
-time of even a small input.
+Python-side dispatch latency (both the model-argmin fallback and the
+baked dispatch-table fast path) and checks it against the modeled
+transfer time of even a small input.
 """
 
 import pytest
@@ -21,12 +22,23 @@ def sdot(n):
 """
 
 
+def _program():
+    return StreamProgram(Filter(SDOT, pop="2*n", push=1),
+                         params=["n", "r"], input_size="2*n*r",
+                         input_ranges={"n": (1 << 10, 4 << 20)})
+
+
 @pytest.fixture(scope="module")
 def compiled():
-    program = StreamProgram(Filter(SDOT, pop="2*n", push=1),
-                            params=["n", "r"], input_size="2*n*r",
-                            input_ranges={"n": (1 << 10, 4 << 20)})
-    return compile_program(program)
+    return compile_program(_program())
+
+
+@pytest.fixture(scope="module")
+def baked():
+    """Same program with dispatch tables baked over the declared range."""
+    program = compile_program(_program())
+    assert program.bake_decision_tables(extra_params={"r": 1}) > 0
+    return program
 
 
 def test_selection_latency(benchmark, compiled):
@@ -54,3 +66,30 @@ def test_prediction_latency(benchmark, compiled):
     params = {"n": 1 << 20, "r": 1}
     seconds = benchmark(compiled.predicted_seconds, params)
     assert seconds > 0
+
+
+def test_table_dispatch_latency(benchmark, baked):
+    """In-range table-hit selection: O(1) bisect, zero model evaluations."""
+    params = {"n": 100_000, "r": 1}      # in range, off the bake grid
+    before = baked.stats.snapshot()
+    plans = benchmark(baked.select, params)
+    delta = baked.stats.since(before)
+    assert len(plans) == 1
+    assert delta.table_hits == delta.select_calls > 0
+    assert delta.model_evals == 0, (
+        f"table-hit dispatch performed {delta.model_evals} model evals")
+
+
+def test_table_dispatch_hides_under_transfer(benchmark, baked):
+    """The fast path must vanish under even a 64K-element H2D transfer."""
+    params = {"n": 1 << 15, "r": 1}
+    benchmark(baked.select, params)
+    if benchmark.stats is None:
+        pytest.skip("timing stats unavailable with benchmarking disabled")
+    mean_seconds = benchmark.stats.stats.mean
+    transfer = baked.transfer_seconds(params)
+    # Tighter than the 50x bound granted to the full model-argmin above:
+    # a bisect plus a dict probe should cost a fraction of the transfer.
+    assert mean_seconds < 5 * transfer, (
+        f"table dispatch {mean_seconds * 1e6:.0f}us vs transfer "
+        f"{transfer * 1e6:.0f}us")

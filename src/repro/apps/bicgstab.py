@@ -99,9 +99,15 @@ class StepSpec:
     cublas_calls: List[str]
 
 
+#: Matrix dimensions the solver is deployed for (Figure 11's sweep) —
+#: the declared operating range that drives break-even analysis/baking.
+N_RANGE = (512, 8192)
+
+
 def _program(name, top, extra_params=(), input_size="2*n"):
     return StreamProgram(top, params=["n", *extra_params],
-                         input_size=input_size, name=name)
+                         input_size=input_size, name=name,
+                         input_ranges={"n": N_RANGE})
 
 
 def step_specs() -> List[StepSpec]:

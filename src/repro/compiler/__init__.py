@@ -3,9 +3,11 @@
 from .adaptic import (AdapticCompiler, AdapticOptions, CompileError,
                       compile_program)
 from .runtime import CompiledProgram, RunResult, SegmentExecution
-from .segments import Segment
+from .segments import Segment, SegmentDispatch
+from .stats import CostCache, SelectionStats
 
 __all__ = [
     "AdapticCompiler", "AdapticOptions", "compile_program", "CompileError",
     "CompiledProgram", "RunResult", "SegmentExecution", "Segment",
+    "SegmentDispatch", "CostCache", "SelectionStats",
 ]

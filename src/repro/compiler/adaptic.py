@@ -36,6 +36,7 @@ from ..streamit import (Duplicate, Filter, FlatGraph, Pipeline,
 from .fusion import (compose_maps, compose_roundrobin_maps,
                      compose_transfer_into_map, fuse_map_into_argreduce,
                      fuse_map_into_reduction)
+from .plans.base import freeze_scalars
 from .plans import (CpuPlan, GenericActorPlan, GenericShape,
                     LAYOUT_INTERLEAVED, LAYOUT_RESTRUCTURED, LAYOUT_ROW_SOA,
                     LAYOUT_ROWS, LAYOUT_TRANSPOSED, MapPlan, MapShape,
@@ -109,8 +110,7 @@ class _Sizing:
         self._cache: Dict[tuple, object] = {}
 
     def _key(self, params) -> tuple:
-        return tuple(sorted((k, v) for k, v in params.items()
-                            if np.isscalar(v)))
+        return freeze_scalars(params)
 
     def schedule(self, params):
         key = self._key(params)
@@ -399,8 +399,7 @@ class AdapticCompiler:
             arrays = arrays_fn(params)
             if arrays:
                 return cls(pattern, params, arrays)
-            key = tuple(sorted((k, v) for k, v in params.items()
-                               if np.isscalar(v)))
+            key = freeze_scalars(params)
             if key not in cache:
                 cache[key] = cls(pattern, params)
             return cache[key]

@@ -102,6 +102,16 @@ def scalar_params(params: Dict[str, float]) -> Dict[str, float]:
     return {k: v for k, v in params.items() if np.isscalar(v)}
 
 
+def freeze_scalars(params) -> tuple:
+    """Hashable projection of a parameter binding onto its scalars.
+
+    The canonical cache key for anything that depends on a parameter
+    binding only through the analytic model (costs, schedules, reducers).
+    """
+    return tuple(sorted((k, v) for k, v in (params or {}).items()
+                        if np.isscalar(v)))
+
+
 def expr_ops(expr) -> int:
     """Dynamic instruction estimate for one evaluation of an IR expression."""
     from ...ir import nodes as N

@@ -2,24 +2,39 @@
 
 A :class:`CompiledProgram` is Adaptic's output: the segment chain with all
 surviving kernel variants.  At execution time the runtime kernel-management
-unit inspects the actual input parameters, evaluates the performance model
-for each variant (a handful of closed-form evaluations — "completely
-executed on the CPU during the initial data transfer"), picks the fastest,
-computes its launch parameters, and runs it.
+unit inspects the actual input parameters, picks the fastest variant, and
+runs it.  Selection has a fast path and an exact fallback:
+
+* **dispatch tables** — :meth:`bake_decision_tables` (run automatically
+  after :meth:`prune_variants`) precompiles each segment's winner per
+  input subrange along a declared input axis; an in-range ``select()`` is
+  then a bisect with *zero* model evaluations;
+* **model-argmin fallback** — out-of-range, multi-axis-unbaked, or
+  device-resident inputs are resolved exactly, "a handful of closed-form
+  evaluations completely executed on the CPU during the initial data
+  transfer" — now memoized per ``(plan, scalar params)`` in a
+  :class:`~repro.compiler.stats.CostCache` shared by every compile-time
+  analysis and experiment driver.
+
+Every model evaluation, cache hit, table hit/fallback and the select()
+wall-clock is counted in :attr:`CompiledProgram.stats`.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import itertools
+import time
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..gpu import Device, GPUSpec, PCIE_BANDWIDTH_GBPS
-from ..perfmodel import PerformanceModel, geometric_points
-from .plans.base import IN, KernelPlan
-from .segments import Segment
+from ..perfmodel import PerformanceModel, Variant, geometric_points, \
+    sweep_axis
+from .plans.base import IN, KernelPlan, freeze_scalars
+from .segments import Segment, SegmentDispatch
+from .stats import CostCache, SelectionStats
 
 #: Layouts that need no host-side restructuring.
 _CANONICAL = {"interleaved", "rows"}
@@ -66,6 +81,18 @@ class CompiledProgram:
         self.model = model
         self.segments = segments
         self.options = options
+        #: Memoized cost layer + observability counters (repro.compiler.stats).
+        self.cost = CostCache(model)
+
+    @property
+    def stats(self) -> SelectionStats:
+        """Selection counters for this program (model evals, hits, ...)."""
+        return self.cost.stats
+
+    def plan_seconds(self, plan: KernelPlan,
+                     params: Dict[str, float]) -> float:
+        """Memoized model-predicted time of one plan at one input."""
+        return self.cost.plan_seconds(plan, params)
 
     # ------------------------------------------------------------------
     # Selection
@@ -84,19 +111,37 @@ class CompiledProgram:
         ``input_on_host=False`` marks inputs already resident in device
         memory (e.g. a matrix reused across solver iterations): host-side
         memory restructuring is then unavailable to the first segment.
+
+        A segment with a baked, applicable dispatch table is decided by
+        bisect with zero model evaluations; everything else falls back to
+        the exact (memoized) model-argmin.
         """
+        started = time.perf_counter()
+        stats = self.stats
+        stats.select_calls += 1
         force = force or {}
         chosen: List[KernelPlan] = []
         from_host = input_on_host
         for segment in self.segments:
             if segment.name in force:
                 plan = segment.plan_named(force[segment.name])
+                stats.forced_selections += 1
             else:
-                eligible = self._eligible(segment, from_host)
-                plan = min(eligible, key=lambda p: p.predicted_seconds(
-                    self.model, params))
+                plan = None
+                if segment.dispatch is not None:
+                    winner = segment.dispatch.lookup(params, from_host)
+                    if winner is not None:
+                        plan = segment.plan_named(winner)
+                        stats.table_hits += 1
+                if plan is None:
+                    if segment.dispatch is not None:
+                        stats.table_fallbacks += 1
+                    eligible = self._eligible(segment, from_host)
+                    plan = segment.best_plan(self.cost, params,
+                                             plans=eligible)
             chosen.append(plan)
             from_host = False
+        stats.select_seconds += time.perf_counter() - started
         return chosen
 
     # ------------------------------------------------------------------
@@ -107,8 +152,7 @@ class CompiledProgram:
                           force: Optional[Dict[str, str]] = None,
                           input_on_host: bool = True) -> float:
         plans = self.select(params, force, input_on_host=input_on_host)
-        total = sum(plan.predicted_seconds(self.model, params)
-                    for plan in plans)
+        total = sum(self.cost.plan_seconds(plan, params) for plan in plans)
         if include_transfers:
             total += self.transfer_seconds(params)
         return total
@@ -124,8 +168,14 @@ class CompiledProgram:
     # ------------------------------------------------------------------
     def run(self, host_input: np.ndarray, params: Dict[str, float],
             device: Optional[Device] = None,
-            force: Optional[Dict[str, str]] = None) -> RunResult:
-        """Execute functionally on the simulator device."""
+            force: Optional[Dict[str, str]] = None,
+            input_on_host: bool = True) -> RunResult:
+        """Execute functionally on the simulator device.
+
+        ``input_on_host=False`` models data already resident on the
+        device: selection is constrained to plans that need no host-side
+        restructuring (the ``_eligible`` contract), and none is applied.
+        """
         device = device or Device(self.spec)
         params = dict(params)
         host_input = np.asarray(host_input, dtype=np.float64).reshape(-1)
@@ -138,17 +188,17 @@ class CompiledProgram:
                 f"program expects {expected} input elements for these "
                 f"parameters, got {len(host_input)}")
 
-        plans = self.select(params, force)
+        plans = self.select(params, force, input_on_host=input_on_host)
         selections: List[SegmentExecution] = []
         predicted = 0.0
         buf = None
         for index, (segment, plan) in enumerate(zip(self.segments, plans)):
             if index == 0:
                 staged = host_input
-                if hasattr(plan, "restructure_input"):
+                if input_on_host and hasattr(plan, "restructure_input"):
                     staged = plan.restructure_input(host_input, params)
                 buf = device.to_device(staged, name=f"{segment.name}.in")
-            seconds = plan.predicted_seconds(self.model, params)
+            seconds = self.cost.plan_seconds(plan, params)
             predicted += seconds
             buf = plan.execute(device, {IN: buf}, params)
             selections.append(SegmentExecution(
@@ -182,13 +232,81 @@ class CompiledProgram:
 
     def prune_variants(self, samples: int = 6,
                        extra_params: Optional[Dict[str, float]] = None,
-                       tolerance: float = 0.05) -> None:
-        """Keep only variants that win somewhere in the declared ranges."""
+                       tolerance: float = 0.05,
+                       keep: Optional[Dict[str, List[str]]] = None) -> None:
+        """Keep only variants that win somewhere in the declared ranges.
+
+        ``keep`` maps segment names to strategies that must survive (so a
+        later ``force=`` cannot dangle).  Afterwards each segment's
+        decision table is re-baked over the surviving variants, turning
+        in-range selection into a zero-evaluation bisect.
+        """
         points = self.sample_points(samples, extra_params)
         if not points:
             return
-        for segment in self.segments:
-            segment.prune(self.model, points, tolerance=tolerance)
+        keep = keep or {}
+        with self.cost.compile_scope():
+            for segment in self.segments:
+                segment.prune(self.cost, points, tolerance=tolerance,
+                              keep=keep.get(segment.name, ()))
+        self.bake_decision_tables(samples=samples,
+                                  extra_params=extra_params)
+
+    def bake_decision_tables(self, samples: int = 8,
+                             extra_params: Optional[Dict[str, float]] = None,
+                             refine: bool = True) -> int:
+        """Precompile per-segment dispatch tables (§3's subranges).
+
+        For each declared input axis whose co-axes are all pinned by
+        ``extra_params``, sweep the axis (``perfmodel.breakeven``), refine
+        the break-even points to exact integers (``refine``), and attach
+        the resulting :class:`DecisionTable` to the segment.  Selection on
+        an input matching the baked extras is then a bisect with zero
+        model evaluations; anything else falls back to model-argmin.
+
+        Returns the number of tables baked.  All evaluations spent here
+        are counted as compile-time and shared with later queries through
+        the cost cache.
+        """
+        ranges = self.program.input_ranges
+        extras = dict(extra_params or {})
+        baked = 0
+        for axis in sorted(ranges):
+            lo, hi = ranges[axis]
+            others = set(ranges) - {axis}
+            if not others <= set(extras):
+                continue          # multi-axis input with unpinned co-axes
+            base = {k: v for k, v in extras.items() if k != axis}
+            with self.cost.compile_scope():
+                from_host = True
+                for segment in self.segments:
+                    eligible = self._eligible(segment, from_host)
+                    variants = [
+                        Variant(plan.strategy,
+                                lambda v, plan=plan, axis=axis:
+                                self.cost.plan_seconds(
+                                    plan, {**base, axis: int(v)}))
+                        for plan in eligible
+                    ]
+                    try:
+                        table = sweep_axis(variants, lo, hi,
+                                           samples=samples, refine=refine)
+                    except Exception:
+                        # A segment the model cannot sweep over this axis
+                        # (e.g. sizes that violate its schedule) simply
+                        # keeps the exact model-argmin path.
+                        segment.dispatch = None
+                        from_host = False
+                        continue
+                    segment.dispatch = SegmentDispatch(
+                        axis=axis, lo=int(table.subranges[0].lo),
+                        hi=int(table.subranges[-1].hi),
+                        extras=freeze_scalars(base),
+                        from_host=from_host, table=table)
+                    from_host = False
+                    baked += 1
+            break                 # one baked axis per segment chain
+        return baked
 
     def variant_count(self) -> int:
         return sum(len(segment.plans) for segment in self.segments)
@@ -217,7 +335,7 @@ class CompiledProgram:
         Sweeps the declared input ranges (or the single ``axis`` parameter)
         and reports, per segment, which variant the runtime would select on
         each subrange — the textual form of the paper's per-kernel
-        operating-range tables.
+        operating-range tables — plus the selection counters.
         """
         ranges = self.program.input_ranges
         if axis is not None:
@@ -228,33 +346,37 @@ class CompiledProgram:
             # Multi-axis: list pointwise winners over the sampled grid.
             points = self.sample_points(samples, extra_params)
             lines = []
-            for segment in self.segments:
-                lines.append(f"segment {segment.name}:")
-                for point in points:
-                    plan = segment.best_plan(self.model, point)
-                    scalars = {k: v for k, v in point.items()
-                               if np.isscalar(v)}
-                    lines.append(f"  {scalars} -> {plan.strategy}")
+            with self.cost.compile_scope():
+                for segment in self.segments:
+                    lines.append(f"segment {segment.name}:")
+                    for point in points:
+                        plan = segment.best_plan(self.cost, point)
+                        scalars = {k: v for k, v in point.items()
+                                   if np.isscalar(v)}
+                        lines.append(f"  {scalars} -> {plan.strategy}")
+            lines.append(f"selection stats: {self.stats.summary()}")
             return "\n".join(lines)
 
         (name, (lo, hi)), = ranges.items()
         points = geometric_points(lo, hi, samples)
         lines = []
-        for segment in self.segments:
-            lines.append(f"segment {segment.name}:")
-            current = None
-            start = prev = points[0]
-            for value in points:
-                params = dict(extra_params or {})
-                params[name] = value
-                strategy = segment.best_plan(self.model, params).strategy
-                if strategy != current:
-                    if current is not None:
-                        lines.append(
-                            f"  {name} in [{start}, {prev}] -> {current}")
-                    current, start = strategy, value
-                prev = value
-            lines.append(f"  {name} in [{start}, {points[-1]}] -> {current}")
+        with self.cost.compile_scope():
+            for segment in self.segments:
+                lines.append(f"segment {segment.name}:")
+                current = None
+                start = prev = points[0]
+                for value in points:
+                    params = dict(extra_params or {})
+                    params[name] = value
+                    strategy = segment.best_plan(self.cost, params).strategy
+                    if strategy != current:
+                        if current is not None:
+                            lines.append(
+                                f"  {name} in [{start}, {prev}] -> {current}")
+                        current, start = strategy, value
+                    prev = value
+                lines.append(f"  {name} in [{start}, {points[-1]}] -> {current}")
+        lines.append(f"selection stats: {self.stats.summary()}")
         return "\n".join(lines)
 
     def describe(self) -> str:
@@ -265,4 +387,11 @@ class CompiledProgram:
                          f"{', '.join(segment.actors)})")
             for plan in segment.plans:
                 lines.append(f"    - {plan.strategy}")
+            if segment.dispatch is not None:
+                d = segment.dispatch
+                lines.append(
+                    f"    [dispatch table on {d.axis!r} in "
+                    f"[{d.lo}, {d.hi}]: "
+                    f"{len(d.table.subranges)} subranges]")
+        lines.append(f"  selection stats: {self.stats.summary()}")
         return "\n".join(lines)

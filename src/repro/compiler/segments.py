@@ -5,17 +5,62 @@ operating input ranges each one wins (§3).  A :class:`Segment` is one such
 group: it owns the candidate :class:`KernelPlan` list, and the runtime
 kernel management picks among them per input.  Segments form a chain; the
 output buffer of one is the input of the next.
+
+Segment helpers accept either a bare
+:class:`~repro.perfmodel.PerformanceModel` or a
+:class:`~repro.compiler.stats.CostCache`; compiled programs pass their
+cache so every cost query is memoized and counted.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional
+import math
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..perfmodel import PerformanceModel, Variant, sweep
-from .plans.base import KernelPlan
+from ..perfmodel import DecisionTable, PerformanceModel, Variant, sweep
+from .plans.base import KernelPlan, freeze_scalars
+from .stats import cost_fn
+
+
+@dataclasses.dataclass
+class SegmentDispatch:
+    """A baked decision table: the segment's selection fast path.
+
+    Valid only for inputs where ``axis`` lies in ``[lo, hi]``, every other
+    scalar parameter equals ``extras`` exactly, and the segment is queried
+    under the same host/device-residency eligibility it was baked for.
+    """
+
+    axis: str
+    lo: int
+    hi: int
+    extras: tuple            # freeze_scalars() of the non-axis parameters
+    from_host: bool          # eligibility context the table was baked under
+    table: DecisionTable
+
+    def lookup(self, params: Dict[str, float],
+               from_host: bool) -> Optional[str]:
+        """Winning strategy name, or ``None`` when the table is unusable."""
+        if from_host != self.from_host:
+            return None
+        value = params.get(self.axis)
+        if value is None or not np.isscalar(value):
+            return None
+        if not self.lo <= value <= self.hi:
+            return None
+        others = {k: v for k, v in params.items() if k != self.axis}
+        if freeze_scalars(others) != self.extras:
+            return None
+        return self.table.lookup(value)
+
+
+def _points_equal(a: Dict, b: Dict) -> bool:
+    if a.keys() != b.keys():
+        return False
+    return all(np.array_equal(a[k], b[k]) for k in a)
 
 
 @dataclasses.dataclass
@@ -31,56 +76,101 @@ class Segment:
     consts: tuple = ()
     #: Filters folded into this segment (for reporting).
     actors: tuple = ()
+    #: Baked decision table (selection fast path), if any.
+    dispatch: Optional[SegmentDispatch] = None
+    #: Strategies removed by :meth:`prune` (for actionable errors).
+    pruned_strategies: tuple = ()
 
     def best_plan(self, model: PerformanceModel,
-                  params: Dict[str, float]) -> KernelPlan:
-        """Runtime kernel management: model-argmin over the variants."""
-        best, best_time = None, float("inf")
-        for plan in self.plans:
-            t = plan.predicted_seconds(model, params)
-            if t < best_time:
+                  params: Dict[str, float],
+                  plans: Optional[Sequence[KernelPlan]] = None
+                  ) -> KernelPlan:
+        """Runtime kernel management: model-argmin over the variants.
+
+        Non-finite predicted costs (``nan``/``inf`` — a variant that
+        cannot run at this input) are skipped; if nothing runnable
+        remains, the error names every strategy and its predicted cost so
+        the failure is diagnosable.
+        """
+        candidates = self.plans if plans is None else list(plans)
+        if not candidates:
+            raise RuntimeError(f"segment {self.name!r} has no plans")
+        cost = cost_fn(model)
+        best, best_time = None, math.inf
+        costs: Dict[str, float] = {}
+        for plan in candidates:
+            t = cost(plan, params)
+            costs[plan.strategy] = t
+            if math.isfinite(t) and t < best_time:
                 best, best_time = plan, t
         if best is None:
-            raise RuntimeError(f"segment {self.name!r} has no plans")
+            scalars = dict(freeze_scalars(params))
+            raise RuntimeError(
+                f"segment {self.name!r} has no runnable variant at params "
+                f"{scalars}: all predicted costs are non-finite "
+                f"({costs})")
         return best
 
     def plan_named(self, strategy: str) -> KernelPlan:
         for plan in self.plans:
             if plan.strategy == strategy:
                 return plan
+        hint = ""
+        if strategy in self.pruned_strategies:
+            hint = ("; it was removed by prune_variants() — pass "
+                    "keep={" f"{self.name!r}: [{strategy!r}]" "} to retain "
+                    "force-able variants")
         raise KeyError(
             f"segment {self.name!r} has no variant {strategy!r}; "
-            f"available: {[p.strategy for p in self.plans]}")
+            f"available: {[p.strategy for p in self.plans]}{hint}")
 
     def decision_table(self, model: PerformanceModel,
                        points: List[Dict[str, float]],
                        key: Callable[[Dict], object] = None):
-        """Break-even sweep over parameter points (compile-time analysis)."""
-        key = key or (lambda p: tuple(sorted(
-            (k, v) for k, v in p.items() if np.isscalar(v))))
-        by_key = {key(p): p for p in points}
+        """Break-even sweep over parameter points (compile-time analysis).
+
+        Points are keyed by their scalar projection; two *distinct* points
+        that collide on the same key (they differ only in array-valued
+        entries) would silently shadow each other, so that is a loud
+        error.
+        """
+        key = key or (lambda p: freeze_scalars(p))
+        by_key: Dict[object, Dict] = {}
+        for point in points:
+            k = key(point)
+            if k in by_key and not _points_equal(by_key[k], point):
+                raise ValueError(
+                    f"segment {self.name!r}: decision_table points collide "
+                    f"on scalar key {k!r}; distinct points must differ in "
+                    f"at least one scalar parameter")
+            by_key[k] = point
+        cost = cost_fn(model)
         variants = [
             Variant(plan.strategy,
-                    lambda kp, plan=plan: plan.predicted_seconds(
-                        model, by_key[kp]))
+                    lambda kp, plan=plan: cost(plan, by_key[kp]))
             for plan in self.plans
         ]
         return sweep(variants, [key(p) for p in points])
 
     def prune(self, model: PerformanceModel,
               points: List[Dict[str, float]],
-              tolerance: float = 0.05) -> List[KernelPlan]:
+              tolerance: float = 0.05,
+              keep: Sequence[str] = ()) -> List[KernelPlan]:
         """Keep a minimal variant set near-optimal over the declared range.
 
         Greedy set cover: every sampled point must be served by some kept
         variant within ``tolerance`` of the pointwise optimum.  Near-tied
         variants collapse onto one kernel, which is what keeps the paper's
         binary-size growth moderate (§5.1 reports 1.4× average).
+
+        Strategies named in ``keep`` survive unconditionally (so a later
+        ``force=`` cannot dangle); anything dropped is recorded in
+        :attr:`pruned_strategies` for actionable errors.
         """
         if len(self.plans) <= 1 or not points:
             return self.plans
-        times = {plan.strategy:
-                 [plan.predicted_seconds(model, p) for p in points]
+        cost = cost_fn(model)
+        times = {plan.strategy: [cost(plan, p) for p in points]
                  for plan in self.plans}
         best = [min(times[s][i] for s in times)
                 for i in range(len(points))]
@@ -88,7 +178,9 @@ class Segment:
                       if times[s][i] <= best[i] * (1 + tolerance)}
                   for s in times}
         uncovered = set(range(len(points)))
-        kept: List[str] = []
+        kept: List[str] = [s for s in times if s in set(keep)]
+        for s in kept:
+            uncovered -= covers[s]
         while uncovered:
             strategy = max(covers, key=lambda s: len(covers[s] & uncovered))
             gained = covers[strategy] & uncovered
@@ -97,5 +189,10 @@ class Segment:
             kept.append(strategy)
             uncovered -= gained
         if kept:
+            dropped = tuple(p.strategy for p in self.plans
+                            if p.strategy not in kept)
+            self.pruned_strategies = self.pruned_strategies + dropped
             self.plans = [p for p in self.plans if p.strategy in kept]
+            if dropped:
+                self.dispatch = None   # table may reference dropped plans
         return self.plans

@@ -1,0 +1,129 @@
+"""Observability for runtime kernel management (§3).
+
+The paper's runtime unit must be cheap enough to hide under the initial
+H2D transfer.  This module makes that claim measurable: a
+:class:`CostCache` memoizes ``plan.predicted_seconds`` per
+``(plan identity, frozen scalar params)`` and a :class:`SelectionStats`
+counts every model evaluation, cache hit, dispatch-table hit/fallback and
+the accumulated ``select()`` wall-clock, per compiled program.
+
+Compile-time analyses (pruning, break-even sweeps, table baking) run under
+:meth:`CostCache.compile_scope`, so runtime selection cost can be reported
+separately from the one-off compile-time model work.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from .plans.base import KernelPlan, freeze_scalars
+
+
+@dataclasses.dataclass
+class SelectionStats:
+    """Counters for one compiled program's kernel-management activity."""
+
+    #: Cost-layer misses: actual analytic-model evaluations performed.
+    model_evals: int = 0
+    #: ... of which happened inside compile-time analyses (prune/bake/report).
+    compile_evals: int = 0
+    #: Cost queries answered from the memo table.
+    cache_hits: int = 0
+    #: ``select()`` decisions answered by a baked dispatch table (zero evals).
+    table_hits: int = 0
+    #: ``select()`` decisions that fell back to model-argmin.
+    table_fallbacks: int = 0
+    #: ``select()`` decisions satisfied by a ``force=`` override.
+    forced_selections: int = 0
+    #: Number of ``select()`` calls.
+    select_calls: int = 0
+    #: Accumulated wall-clock spent inside ``select()``.
+    select_seconds: float = 0.0
+
+    @property
+    def runtime_evals(self) -> int:
+        """Model evaluations attributable to runtime selection."""
+        return self.model_evals - self.compile_evals
+
+    @property
+    def cost_queries(self) -> int:
+        return self.model_evals + self.cache_hits
+
+    def snapshot(self) -> "SelectionStats":
+        return dataclasses.replace(self)
+
+    def since(self, earlier: "SelectionStats") -> "SelectionStats":
+        """Counter deltas accumulated after ``earlier`` was snapshotted."""
+        return SelectionStats(**{
+            f.name: getattr(self, f.name) - getattr(earlier, f.name)
+            for f in dataclasses.fields(self)})
+
+    def summary(self) -> str:
+        return (f"evals={self.model_evals}"
+                f" (compile={self.compile_evals},"
+                f" runtime={self.runtime_evals})"
+                f" cache_hits={self.cache_hits}"
+                f" table_hits={self.table_hits}"
+                f" fallbacks={self.table_fallbacks}"
+                f" selects={self.select_calls}"
+                f" select_wall={self.select_seconds * 1e6:.0f}us")
+
+
+class CostCache:
+    """Memoized ``plan.predicted_seconds`` shared by selection and analyses.
+
+    Keys are ``(plan identity, frozen scalar params)``; array-valued params
+    are excluded from the key because the analytic model only consumes
+    scalars (the same projection the compiler's sizing and reducer caches
+    use).  Plan objects are pinned for the cache's lifetime so ``id()``
+    keys can never be reused by a different plan.
+    """
+
+    def __init__(self, model, stats: Optional[SelectionStats] = None):
+        self.model = model
+        self.stats = stats or SelectionStats()
+        self._costs: Dict[Tuple[int, tuple], float] = {}
+        self._plans: Dict[int, KernelPlan] = {}
+        self._compile_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._costs)
+
+    @contextlib.contextmanager
+    def compile_scope(self):
+        """Attribute model evaluations inside the scope to compile time."""
+        self._compile_depth += 1
+        try:
+            yield self
+        finally:
+            self._compile_depth -= 1
+
+    def plan_seconds(self, plan: KernelPlan, params) -> float:
+        """Predicted time of ``plan`` at ``params``, memoized."""
+        key = (id(plan), freeze_scalars(params))
+        try:
+            seconds = self._costs[key]
+        except KeyError:
+            self._plans.setdefault(id(plan), plan)
+            self.stats.model_evals += 1
+            if self._compile_depth:
+                self.stats.compile_evals += 1
+            seconds = plan.predicted_seconds(self.model, params)
+            self._costs[key] = seconds
+            return seconds
+        self.stats.cache_hits += 1
+        return seconds
+
+
+def cost_fn(model_or_cache):
+    """Uniform ``(plan, params) -> seconds`` view of a model or a cache.
+
+    Segment-level helpers accept either a bare :class:`PerformanceModel`
+    (uncounted, uncached — handy in tests) or a :class:`CostCache`.
+    """
+    if isinstance(model_or_cache, CostCache):
+        return model_or_cache.plan_seconds
+    return lambda plan, params: plan.predicted_seconds(model_or_cache,
+                                                       params)

@@ -60,6 +60,18 @@ def model_for(spec: GPUSpec = TESLA_C2050) -> PerformanceModel:
     return PerformanceModel(spec)
 
 
+def combined_stats(compiled_programs):
+    """Sum the selection counters of several compiled programs."""
+    from ..compiler.stats import SelectionStats
+    total = SelectionStats()
+    for compiled in compiled_programs:
+        stats = compiled.stats
+        for field in dataclasses.fields(SelectionStats):
+            setattr(total, field.name,
+                    getattr(total, field.name) + getattr(stats, field.name))
+    return total
+
+
 def geometric_sizes(lo: int, hi: int, factor: int = 4) -> List[int]:
     sizes = []
     n = lo

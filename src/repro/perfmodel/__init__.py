@@ -1,13 +1,13 @@
 """Analytic performance model and break-even (variant selection) machinery."""
 
 from .breakeven import (DecisionTable, Subrange, Variant, argmin_variant,
-                        geometric_points, sweep)
+                        geometric_points, sweep, sweep_axis)
 from .model import (BLOCK_SCHED_OVERHEAD_CYCLES, KernelCategory,
                     KernelEstimate, KernelWorkload, PerformanceModel)
 
 __all__ = [
     "PerformanceModel", "KernelWorkload", "KernelEstimate", "KernelCategory",
     "BLOCK_SCHED_OVERHEAD_CYCLES",
-    "Variant", "Subrange", "DecisionTable", "sweep", "argmin_variant",
-    "geometric_points",
+    "Variant", "Subrange", "DecisionTable", "sweep", "sweep_axis",
+    "argmin_variant", "geometric_points",
 ]

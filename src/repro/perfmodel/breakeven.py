@@ -12,9 +12,11 @@ moderate (§5.1 reports 1.4× average).
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import math
-from typing import Callable, Dict, Generic, Hashable, List, Sequence, TypeVar
+from typing import Callable, Dict, Generic, Hashable, List, Optional, \
+    Sequence, Tuple, TypeVar
 
 InputT = TypeVar("InputT", bound=Hashable)
 
@@ -61,17 +63,42 @@ class DecisionTable(Generic[InputT]):
     def best_time(self, point: InputT) -> float:
         return min(self.times[point].values())
 
+    def lookup(self, value) -> Optional[str]:
+        """Winner at an axis value, by bisect over the subranges.
+
+        Returns ``None`` when ``value`` falls outside the table's coverage
+        (before the first subrange, after the last, or inside a gap left
+        by an unrefined sweep) — the caller falls back to model-argmin.
+        Costs zero model evaluations.
+        """
+        subs = self.subranges
+        if not subs or value < subs[0].lo or value > subs[-1].hi:
+            return None
+        index = bisect.bisect_right([s.lo for s in subs], value) - 1
+        sub = subs[index]
+        return sub.variant if sub.lo <= value <= sub.hi else None
+
 
 def geometric_points(lo: float, hi: float, samples: int) -> List[int]:
-    """Geometrically spaced integer sample points covering ``[lo, hi]``."""
+    """Geometrically spaced integer sample points covering ``[lo, hi]``.
+
+    Always sorted, duplicate-free, and confined to the integers of
+    ``[lo, hi]`` with both integer endpoints pinned — even when rounding
+    collapses neighbouring samples (narrow ranges, ``samples`` far above
+    the number of distinct integers) or when the bounds are non-integral.
+    """
     if lo <= 0 or hi < lo:
         raise ValueError(f"invalid range [{lo}, {hi}]")
-    if samples < 2 or lo == hi:
-        return [int(lo)] if lo == hi else [int(lo), int(hi)]
+    lo_i, hi_i = math.ceil(lo), math.floor(hi)
+    if hi_i < lo_i:
+        # The range contains no integer; collapse to the nearest one.
+        lo_i = hi_i = int(round(lo))
+    if samples < 2 or lo_i == hi_i:
+        return [lo_i] if lo_i == hi_i else [lo_i, hi_i]
     ratio = (hi / lo) ** (1.0 / (samples - 1))
-    points = sorted({int(round(lo * ratio ** k)) for k in range(samples)})
-    points[0], points[-1] = int(lo), int(hi)
-    return points
+    points = {int(round(lo * ratio ** k)) for k in range(samples)}
+    points |= {lo_i, hi_i}
+    return sorted(p for p in points if lo_i <= p <= hi_i)
 
 
 def sweep(variants: Sequence[Variant],
@@ -98,6 +125,69 @@ def sweep(variants: Sequence[Variant],
             subranges.append(Subrange(lo=point, hi=point, variant=name))
     return DecisionTable(points=list(points), choices=choices, times=times,
                          subranges=subranges)
+
+
+def _winner_at(variants: Sequence[Variant], point) -> Optional[str]:
+    per = {v.name: v.time(point) for v in variants}
+    finite = {name: t for name, t in per.items() if math.isfinite(t)}
+    if not finite:
+        return None
+    return min(finite, key=finite.get)
+
+
+def _refine(variants: Sequence[Variant], a: int, b: int,
+            win_a: str, win_b: str,
+            switches: List[Tuple[int, str]]) -> None:
+    """Locate exact integer break-even points in ``(a, b]`` by bisection.
+
+    ``win_a``/``win_b`` are the (differing) winners at the endpoints.
+    Records each ``(first_input, new_winner)`` switch.  Exact as long as
+    each winner's region is contiguous inside the probed gap.
+    """
+    if b - a <= 1:
+        switches.append((b, win_b))
+        return
+    mid = (a + b) // 2
+    win_mid = _winner_at(variants, mid)
+    if win_mid is None or win_mid == win_a:
+        _refine(variants, mid, b, win_a, win_b, switches)
+    elif win_mid == win_b:
+        _refine(variants, a, mid, win_a, win_b, switches)
+    else:
+        _refine(variants, a, mid, win_a, win_mid, switches)
+        _refine(variants, mid, b, win_mid, win_b, switches)
+
+
+def sweep_axis(variants: Sequence[Variant], lo: float, hi: float,
+               samples: int = 16, refine: bool = True) -> DecisionTable:
+    """Break-even sweep over one integer input axis, with full coverage.
+
+    Samples ``[lo, hi]`` geometrically, then (with ``refine``) bisects
+    every winner change down to its exact integer break-even point, and
+    finally stretches the subranges so they tile the whole integer range —
+    the baked form a runtime dispatch table needs for O(log) lookups with
+    zero model evaluations.
+    """
+    points = geometric_points(lo, hi, samples)
+    table = sweep(variants, points)
+    subs = table.subranges
+    events: List[Tuple[int, str]] = [(subs[0].lo, subs[0].variant)]
+    for prev, nxt in zip(subs, subs[1:]):
+        if refine:
+            _refine(variants, prev.hi, nxt.lo, prev.variant, nxt.variant,
+                    events)
+        else:
+            events.append((nxt.lo, nxt.variant))
+    merged: List[Subrange] = []
+    for start, name in events:
+        if merged and merged[-1].variant == name:
+            continue
+        if merged:
+            merged[-1].hi = start - 1
+        merged.append(Subrange(lo=start, hi=start, variant=name))
+    merged[-1].hi = subs[-1].hi
+    table.subranges = merged
+    return table
 
 
 def argmin_variant(variants: Sequence[Variant], point) -> Variant:

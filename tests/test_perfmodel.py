@@ -7,7 +7,7 @@ import pytest
 from repro.gpu import GTX_285, TESLA_C2050
 from repro.perfmodel import (KernelCategory, KernelWorkload,
                              PerformanceModel, Variant, argmin_variant,
-                             geometric_points, sweep)
+                             geometric_points, sweep, sweep_axis)
 
 
 @pytest.fixture
@@ -162,3 +162,62 @@ class TestBreakeven:
         assert geometric_points(8, 8, 5) == [8]
         with pytest.raises(ValueError):
             geometric_points(0, 10, 3)
+
+    def test_geometric_points_narrow_range_stays_sorted_unique(self):
+        # Rounding collapses neighbouring samples; endpoint pinning must
+        # not reintroduce duplicates or break the ordering.
+        for lo, hi, samples in [(10, 12, 9), (2, 3, 16), (100, 101, 5),
+                                (7, 8192, 40)]:
+            points = geometric_points(lo, hi, samples)
+            assert points == sorted(set(points))
+            assert points[0] == lo and points[-1] == hi
+            assert all(lo <= p <= hi for p in points)
+
+    def test_geometric_points_float_bounds(self):
+        points = geometric_points(10.5, 1000.9, 6)
+        assert points[0] == 11 and points[-1] == 1000
+        assert points == sorted(set(points))
+        # A range with no integer collapses to the nearest one.
+        assert geometric_points(5.2, 5.9, 4) == [5]
+
+    def test_geometric_points_samples_exceed_integers(self):
+        points = geometric_points(3, 6, 50)
+        assert points == [3, 4, 5, 6]
+
+
+class TestSweepAxis:
+    def test_refined_boundary_is_exact(self):
+        a = Variant("a", lambda n: n * 1.0)
+        b = Variant("b", lambda n: 100 + n * 0.1)
+        table = sweep_axis([a, b], 1, 10000, samples=5)
+        # Analytic crossover: n = 100/0.9 = 111.1, so b wins from 112.
+        (first, second) = table.subranges
+        assert (first.variant, first.hi) == ("a", 111)
+        assert (second.variant, second.lo) == ("b", 112)
+
+    def test_subranges_tile_range_for_bisect(self):
+        a = Variant("a", lambda n: n * 1.0)
+        b = Variant("b", lambda n: 100 + n * 0.1)
+        table = sweep_axis([a, b], 1, 10000, samples=5)
+        for prev, nxt in zip(table.subranges, table.subranges[1:]):
+            assert nxt.lo == prev.hi + 1
+        assert table.lookup(111) == "a"
+        assert table.lookup(112) == "b"
+        assert table.lookup(10000) == "b"
+        assert table.lookup(0) is None and table.lookup(10001) is None
+
+    def test_unrefined_sweep_still_tiles(self):
+        a = Variant("a", lambda n: n * 1.0)
+        b = Variant("b", lambda n: 100 + n * 0.1)
+        table = sweep_axis([a, b], 1, 10000, samples=5, refine=False)
+        for prev, nxt in zip(table.subranges, table.subranges[1:]):
+            assert nxt.lo == prev.hi + 1
+        assert all(table.lookup(p) == table.choices[p]
+                   for p in table.points)
+
+    def test_single_winner_is_one_subrange(self):
+        a = Variant("a", lambda n: 1.0)
+        b = Variant("b", lambda n: 2.0)
+        table = sweep_axis([a, b], 16, 1024, samples=6)
+        assert [s.variant for s in table.subranges] == ["a"]
+        assert table.lookup(500) == "a"

@@ -169,3 +169,135 @@ class TestSegmentSelection:
         device = compiled.select(params, input_on_host=False)[0]
         assert host.strategy.endswith("transposed")
         assert not device.strategy.endswith("transposed")
+
+
+class TestBestPlanNonFinite:
+    def _segment(self):
+        prog = StreamProgram(Filter(SUM_SRC, pop="n", push=1),
+                             params=["n", "r"], input_size="n*r")
+        return compile_program(prog).segments[0]
+
+    def test_non_finite_costs_are_skipped(self):
+        seg = self._segment()
+        params = {"n": 1 << 14, "r": 1}
+        model = PerformanceModel(TESLA_C2050)
+        expected = seg.best_plan(model, params)
+        times = {p.strategy: p.predicted_seconds(model, params)
+                 for p in seg.plans}
+        # Poison the otherwise-best plan with a nan cost: selection must
+        # skip it and take the next-best finite variant.
+        best_strategy = expected.strategy
+        originals = {}
+        for plan in seg.plans:
+            if plan.strategy == best_strategy:
+                originals[plan.strategy] = plan.predicted_seconds
+                plan.predicted_seconds = \
+                    lambda m, p: float("nan")  # type: ignore[assignment]
+        try:
+            chosen = seg.best_plan(model, params)
+        finally:
+            for plan in seg.plans:
+                if plan.strategy in originals:
+                    plan.predicted_seconds = originals[plan.strategy]
+        assert chosen.strategy != best_strategy
+        finite = {s: t for s, t in times.items() if s != best_strategy}
+        assert times[chosen.strategy] == min(finite.values())
+
+    def test_all_non_finite_raises_diagnostic(self):
+        seg = self._segment()
+        params = {"n": 64, "r": 1}
+        originals = [(p, p.predicted_seconds) for p in seg.plans]
+        for plan in seg.plans:
+            plan.predicted_seconds = \
+                lambda m, p: float("inf")  # type: ignore[assignment]
+        try:
+            with pytest.raises(RuntimeError) as err:
+                seg.best_plan(PerformanceModel(TESLA_C2050), params)
+        finally:
+            for plan, fn in originals:
+                plan.predicted_seconds = fn
+        message = str(err.value)
+        assert "non-finite" in message
+        assert seg.plans[0].strategy in message   # names the strategies
+        assert "'n'" in message or "n" in message  # ... and the params
+
+    def test_empty_segment_raises(self):
+        seg = self._segment()
+        with pytest.raises(RuntimeError, match="no plans"):
+            seg.best_plan(PerformanceModel(TESLA_C2050), {"n": 64, "r": 1},
+                          plans=[])
+
+
+class TestDecisionTableCollision:
+    def _compiled(self):
+        prog = StreamProgram(Filter(SUM_SRC, pop="n", push=1),
+                             params=["n", "r"], input_size="n*r",
+                             input_ranges={"n": (1 << 10, 1 << 16)})
+        return compile_program(prog)
+
+    def test_distinct_scalar_points_accepted(self):
+        compiled = self._compiled()
+        model = PerformanceModel(TESLA_C2050)
+        points = [{"n": 1 << 10, "r": 1}, {"n": 1 << 12, "r": 1}]
+        table = compiled.segments[0].decision_table(model, points)
+        assert len(table.points) == 2
+
+    def test_scalar_key_collision_is_loud(self):
+        compiled = self._compiled()
+        model = PerformanceModel(TESLA_C2050)
+        # Same scalars, different array payloads: these would silently
+        # shadow each other under the scalar projection.
+        points = [{"n": 1 << 10, "r": 1, "vec": np.zeros(4)},
+                  {"n": 1 << 10, "r": 1, "vec": np.ones(4)}]
+        with pytest.raises(ValueError, match="collide"):
+            compiled.segments[0].decision_table(model, points)
+
+    def test_identical_points_are_tolerated(self):
+        # Exact duplicates are not a collision: they key to the same
+        # entry and the sweep still yields one subrange.
+        compiled = self._compiled()
+        model = PerformanceModel(TESLA_C2050)
+        vec = np.zeros(4)
+        points = [{"n": 1 << 10, "r": 1, "vec": vec},
+                  {"n": 1 << 10, "r": 1, "vec": vec}]
+        table = compiled.segments[0].decision_table(model, points)
+        assert len(table.subranges) == 1
+
+
+class TestPruneKeep:
+    def _compiled(self):
+        prog = StreamProgram(Filter(SUM_SRC, pop="n", push=1),
+                             params=["n", "r"], input_size="n*r",
+                             input_ranges={"n": (1 << 10, 4 << 20)})
+        return compile_program(prog)
+
+    def _loser_strategy(self, compiled):
+        """A strategy aggressive pruning would drop."""
+        probe = self._compiled()
+        probe.prune_variants(tolerance=0.0, extra_params={"r": 1})
+        seg = probe.segments[0]
+        assert seg.pruned_strategies, "pruning dropped nothing"
+        return seg.pruned_strategies[0]
+
+    def test_keep_retains_forceable_variant(self):
+        loser = self._loser_strategy(self._compiled())
+        compiled = self._compiled()
+        seg = compiled.segments[0]
+        compiled.prune_variants(tolerance=0.0, extra_params={"r": 1},
+                                keep={seg.name: [loser]})
+        assert loser in [p.strategy for p in seg.plans]
+        # force= must now resolve instead of dangling.
+        plans = compiled.select({"n": 1 << 14, "r": 1},
+                                force={seg.name: loser})
+        assert plans[0].strategy == loser
+
+    def test_pruned_force_raises_actionable_error(self):
+        compiled = self._compiled()
+        loser = self._loser_strategy(compiled)
+        compiled.prune_variants(tolerance=0.0, extra_params={"r": 1})
+        seg = compiled.segments[0]
+        assert loser not in [p.strategy for p in seg.plans]
+        with pytest.raises(KeyError) as err:
+            compiled.select({"n": 1 << 14, "r": 1}, force={seg.name: loser})
+        message = str(err.value)
+        assert "prune_variants" in message and "keep=" in message

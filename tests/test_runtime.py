@@ -109,6 +109,71 @@ class TestMultiSegmentExecution:
         assert result.selections[1].strategy == "reduce.two_kernel"
 
 
+class TestDeviceResidentInput:
+    """Regression: ``run()`` must honor ``input_on_host=False``."""
+
+    def _params(self):
+        # Wide-short shape: host-side selection restructures to the
+        # transposed layout; device-resident data cannot be restructured.
+        return {"n": 8, "r": 1 << 12}
+
+    def test_run_threads_input_on_host_through_selection(self, rng):
+        compiled = compile_program(sum_program())
+        params = self._params()
+        data = rng.standard_normal(params["n"] * params["r"])
+        host = compiled.run(data, params)
+        device = compiled.run(data, params, input_on_host=False)
+        assert host.selections[0].strategy.endswith("transposed")
+        assert not device.selections[0].strategy.endswith("transposed")
+
+    def test_device_resident_run_is_still_correct(self, rng):
+        compiled = compile_program(sum_program())
+        params = self._params()
+        data = rng.standard_normal(params["n"] * params["r"])
+        host = compiled.run(data, params)
+        device = compiled.run(data, params, input_on_host=False)
+        np.testing.assert_allclose(device.output, host.output, rtol=1e-9)
+
+    def test_canonical_plan_identical_on_both_paths(self, rng):
+        # A canonical-layout plan needs no restructuring, so host and
+        # device-resident execution must agree exactly.
+        compiled = compile_program(sum_program())
+        seg = compiled.segments[0]
+        canonical = next(p for p in seg.plans
+                         if p.input_layout in ("interleaved", "rows"))
+        data = rng.standard_normal(64 * 4)
+        params = {"n": 64, "r": 4}
+        force = {seg.name: canonical.strategy}
+        host = compiled.run(data, params, force=force)
+        device = compiled.run(data, params, force=force,
+                              input_on_host=False)
+        np.testing.assert_array_equal(host.output, device.output)
+
+
+class TestDispatchTables:
+    def test_prune_variants_bakes_tables(self):
+        compiled = compile_program(sum_program())
+        compiled.prune_variants(extra_params={"r": 1})
+        assert any(seg.dispatch is not None for seg in compiled.segments)
+        description = compiled.describe()
+        assert "dispatch table" in description
+        assert "selection stats" in description
+
+    def test_in_range_select_uses_table(self):
+        compiled = compile_program(sum_program())
+        compiled.prune_variants(extra_params={"r": 1})
+        before = compiled.stats.snapshot()
+        compiled.select({"n": 1 << 15, "r": 1})
+        delta = compiled.stats.since(before)
+        assert delta.table_hits == 1
+        assert delta.model_evals == 0
+
+    def test_range_report_includes_stats(self):
+        compiled = compile_program(sum_program())
+        assert "selection stats:" in compiled.range_report(
+            samples=4, extra_params={"r": 1})
+
+
 class TestThirdTarget:
     def test_gtx480_compiles_and_runs(self, rng):
         compiled = AdapticCompiler(GTX_480).compile(sum_program())
