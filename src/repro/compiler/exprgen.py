@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, Sequence
 
+import numpy as _np
+
 from ..ir import nodes as N
 
 _PY_INTRINSICS = {
@@ -81,7 +83,10 @@ def python_expr(expr: N.Expr, args: Sequence[str],
         return f"{fn}({inner})"
     if isinstance(expr, N.Index):
         idx = python_expr(expr.index, args, params)
-        return f"{expr.array}[int({idx})]"
+        # float() widens auxiliary-array elements to 64-bit registers, the
+        # same contract ThreadCtx.gload follows, so the scalar and vector
+        # emitters do identical float64 arithmetic.
+        return f"float({expr.array}[int({idx})])"
     raise ExprGenError(
         f"cannot lower {type(expr).__name__} to a scalar expression "
         "(pops/peeks must be pre-substituted by the kernel template)")
@@ -118,6 +123,139 @@ def compile_combine_fn(kind: str) -> Callable:
     if kind == "max":
         return max
     raise ExprGenError(f"unknown combine kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Vectorized (numpy) emission
+#
+# Mirrors the scalar emitter operation-for-operation over float64 arrays so
+# the vectorized executor reproduces the reference path bit-for-bit.  The
+# libm transcendentals (exp/log/sin/cos) are applied through the *scalar*
+# math functions element-wise: numpy's own ufuncs may differ from libm in
+# the last ulp, which would break the differential harness.
+# ---------------------------------------------------------------------------
+
+def _v_exact(fn: Callable) -> Callable:
+    ufunc = _np.frompyfunc(fn, 1, 1)
+
+    def apply(x):
+        return ufunc(_np.asarray(x, dtype=_np.float64)).astype(_np.float64)
+    return apply
+
+
+def _v_min(a, b):
+    # Matches Python's min tie/ordering rule (returns a unless b < a).
+    return _np.where(_np.asarray(b) < _np.asarray(a), b, a)
+
+
+def _v_max(a, b):
+    return _np.where(_np.asarray(b) > _np.asarray(a), b, a)
+
+
+def _v_int(x):
+    return _np.asarray(x).astype(_np.int64)
+
+
+def _v_float(x):
+    return _np.asarray(x).astype(_np.float64)
+
+
+def _v_index(array, idx):
+    return array[_v_int(idx)].astype(_np.float64)
+
+
+_VEC_INTRINSICS = {
+    "sqrt": "_np.sqrt", "floor": "_np.floor", "abs": "_np.abs",
+    "exp": "_v_exp", "log": "_v_log", "sin": "_v_sin", "cos": "_v_cos",
+    "int": "_v_int", "float": "_v_float",
+}
+
+
+def _vec_namespace() -> Dict[str, object]:
+    return {
+        "_np": _np, "math": math,
+        "_v_exp": _v_exact(math.exp), "_v_log": _v_exact(math.log),
+        "_v_sin": _v_exact(math.sin), "_v_cos": _v_exact(math.cos),
+        "_v_min": _v_min, "_v_max": _v_max,
+        "_v_int": _v_int, "_v_float": _v_float, "_v_index": _v_index,
+        "_v_where": _np.where,
+        "_v_and": _np.logical_and, "_v_or": _np.logical_or,
+        "_v_not": _np.logical_not,
+    }
+
+
+def vector_expr(expr: N.Expr, args: Sequence[str],
+                params: Dict[str, float]) -> str:
+    """Render ``expr`` as a numpy expression over array-valued ``args``."""
+    if isinstance(expr, (N.Const, N.Var)):
+        return python_expr(expr, args, params)
+    if isinstance(expr, N.BinOp):
+        left = vector_expr(expr.left, args, params)
+        right = vector_expr(expr.right, args, params)
+        if expr.op == "and":
+            return f"_v_and({left}, {right})"
+        if expr.op == "or":
+            return f"_v_or({left}, {right})"
+        return f"({left} {expr.op} {right})"
+    if isinstance(expr, N.UnaryOp):
+        inner = vector_expr(expr.operand, args, params)
+        return f"_v_not({inner})" if expr.op == "not" else f"(-{inner})"
+    if isinstance(expr, N.Call):
+        if expr.fn == "select":
+            cond, a, b = (vector_expr(e, args, params) for e in expr.args)
+            return f"_v_where({cond}, {a}, {b})"
+        inners = [vector_expr(a, args, params) for a in expr.args]
+        if expr.fn in ("min", "max"):
+            acc = inners[0]
+            for nxt in inners[1:]:
+                acc = f"_v_{expr.fn}({acc}, {nxt})"
+            return acc
+        fn = _VEC_INTRINSICS.get(expr.fn)
+        if fn is None:
+            raise ExprGenError(f"unknown intrinsic {expr.fn!r}")
+        return f"{fn}({', '.join(inners)})"
+    if isinstance(expr, N.Index):
+        idx = vector_expr(expr.index, args, params)
+        return f"_v_index({expr.array}, {idx})"
+    raise ExprGenError(
+        f"cannot lower {type(expr).__name__} to a vector expression "
+        "(pops/peeks must be pre-substituted by the kernel template)")
+
+
+def compile_vector_fn(expr: N.Expr, args: Sequence[str],
+                      params: Dict[str, float],
+                      name: str = "velem",
+                      arrays: Dict[str, object] = None) -> Callable:
+    """Compile ``expr`` to a numpy function ``f(*args)`` over arrays.
+
+    Semantically identical to :func:`compile_scalar_fn` applied lane-wise
+    (same float64 arithmetic, same tie rules, same libm transcendentals).
+    """
+    body = vector_expr(expr, args, params)
+    source = f"def {name}({', '.join(args)}):\n    return {body}\n"
+    namespace = _vec_namespace()
+    if arrays:
+        namespace.update(arrays)
+    exec(compile(source, f"<exprgen:{name}>", "exec"), namespace)
+    fn = namespace[name]
+    fn.__source__ = source
+    return fn
+
+
+_VEC_COMBINE = {
+    "+": lambda a, b: a + b,
+    "*": lambda a, b: a * b,
+    "min": _v_min,
+    "max": _v_max,
+}
+
+
+def compile_vector_combine_fn(kind: str) -> Callable:
+    """Array-valued counterpart of :func:`compile_combine_fn`."""
+    fn = _VEC_COMBINE.get(kind)
+    if fn is None:
+        raise ExprGenError(f"unknown combine kind {kind!r}")
+    return fn
 
 
 # ---------------------------------------------------------------------------

@@ -26,7 +26,7 @@ import numpy as np
 from ...gpu import Device, DeviceArray, GPUSpec, Kernel
 from ...ir import nodes as N
 from ...perfmodel import KernelWorkload
-from ..exprgen import c_expr, compile_scalar_fn
+from ..exprgen import c_expr, compile_scalar_fn, compile_vector_fn
 from .base import (IN, LAYOUT_INTERLEAVED, LAYOUT_RESTRUCTURED, KernelPlan,
                    PlannedLaunch, expr_aux_loads, expr_ops)
 
@@ -170,8 +170,38 @@ class MapPlan(KernelPlan):
                     ctx.gstore(out, i * m + idx, fn(*vals, i))
                 i += total_threads
 
+        vfns = [compile_vector_fn(o, arg_names, params, name=f"vout{idx}",
+                                  arrays=arrays)
+                for idx, o in enumerate(self.outputs)]
+        vgather = None
+        if self.gather is not None:
+            vgather = compile_vector_fn(self.gather, ["_i"], params,
+                                        name="vgather", arrays=arrays)
+        steps = math.ceil(iterations / total_threads) if iterations else 0
+
+        def vector_body(ctx):
+            i0 = ctx.global_tid
+            for s in range(steps):
+                i = i0 + s * total_threads
+                mask = i < iterations
+                if not mask.any():
+                    break
+                safe_i = np.where(mask, i, 0)
+                if vgather is not None:
+                    gidx = np.asarray(vgather(safe_i)).astype(np.int64)
+                    vals = [ctx.gload(inbuf, gidx, mask)]
+                elif restructured:
+                    vals = [ctx.gload(inbuf, j * iterations + i, mask)
+                            for j in range(k)]
+                else:
+                    vals = [ctx.gload(inbuf, i * k + j, mask)
+                            for j in range(k)]
+                for idx, fn in enumerate(vfns):
+                    ctx.gstore(out, i * m + idx, fn(*vals, safe_i), mask)
+
         kernel = Kernel(f"{self.name}_map", body,
-                        regs_per_thread=14 + 2 * k)
+                        regs_per_thread=14 + 2 * k,
+                        vector_body=vector_body)
         device.launch(kernel, blocks, self.threads,
                       {"in": inbuf, "out": out})
         return out

@@ -22,7 +22,7 @@ from ...gpu import SYNC, Device, DeviceArray, GPUSpec, Kernel
 from ...perfmodel import KernelWorkload
 from ..reducers import Reducer
 from .base import IN, KernelPlan, PlannedLaunch
-from .reduceplan import LAYOUT_ROWS, ReduceShape, _index_fn
+from .reduceplan import LAYOUT_ROWS, ReduceShape, _index_fn, _select_state
 
 
 class HorizontalReducePlan(KernelPlan):
@@ -170,11 +170,64 @@ class HorizontalReducePlan(KernelPlan):
                             ctx.gstore(out, r * per_array + offset, value)
                             offset += 1
 
+        def vreduce_block(ctx, r, lo, hi, steps, write_partial=None):
+            """Vector mirror of ``reduce_block`` (same per-lane sequences)."""
+            tx = ctx.tx
+            states = [red.videntity(ctx.shape) for red in reducers]
+            for s in range(steps):
+                i = lo + tx + s * threads
+                m = i < hi
+                if not np.any(m):
+                    break
+                vals = [ctx.gload(inbuf, addr(r, i, j), m)
+                        for j in range(k)]
+                safe_i = np.where(m, i, 0)
+                for q, red in enumerate(reducers):
+                    states[q] = _select_state(
+                        m,
+                        red.vcombine(states[q], red.velement(vals, safe_i)),
+                        states[q])
+            for q in range(Q):
+                for w in range(widths[q]):
+                    ctx.sstore(slot(q, w), tx, states[q][w])
+            ctx.sync()
+            active = threads // 2
+            for _step in range(tree_steps):
+                m = tx < active
+                for q, red in enumerate(reducers):
+                    a = tuple(ctx.sload(slot(q, w), tx, m)
+                              for w in range(widths[q]))
+                    b = tuple(ctx.sload(slot(q, w), tx + active, m)
+                              for w in range(widths[q]))
+                    merged = red.vcombine(a, b)
+                    for w in range(widths[q]):
+                        ctx.sstore(slot(q, w), tx, merged[w], m)
+                ctx.sync()
+                active //= 2
+            m0 = tx == 0
+            finals = [tuple(ctx.sload(slot(q, w), 0, m0)
+                            for w in range(widths[q]))
+                      for q in range(Q)]
+            if write_partial is not None:
+                write_partial(finals, m0)
+            else:
+                offset = 0
+                for q, red in enumerate(reducers):
+                    for value in red.vepilogue(finals[q]):
+                        ctx.gstore(out, r * per_array + offset, value, m0)
+                        offset += 1
+
         if not self.two_kernel:
             def body(ctx):
                 yield from reduce_block(ctx, ctx.bx, 0, length)
 
-            device.launch(Kernel(f"{self.name}_h", body, 18, shared),
+            single_steps = math.ceil(length / threads) if length else 0
+
+            def vector_body(ctx):
+                vreduce_block(ctx, ctx.bx, 0, length, single_steps)
+
+            device.launch(Kernel(f"{self.name}_h", body, 18, shared,
+                                 vector_body=vector_body),
                           narrays, threads, {"in": inbuf, "out": out})
             return out
 
@@ -242,10 +295,77 @@ class HorizontalReducePlan(KernelPlan):
                         ctx.gstore(out, r * per_array + offset, value)
                         offset += 1
 
+        acc_steps = math.ceil(chunk / threads) if chunk else 0
+        merge_steps = math.ceil(nblocks / threads)
+
+        def initial_vector(ctx):
+            r = ctx.bx // nblocks
+            c = ctx.bx % nblocks
+            lo = c * chunk
+            hi = np.minimum(length, lo + chunk)
+
+            def write(finals, m0):
+                offset = 0
+                for q in range(Q):
+                    for w in range(widths[q]):
+                        ctx.gstore(
+                            partials,
+                            ((offset + w) * narrays + r) * nblocks + c,
+                            finals[q][w], m0)
+                    offset += widths[q]
+
+            vreduce_block(ctx, r, lo, hi, acc_steps, write_partial=write)
+
+        def merge_vector(ctx):
+            tx = ctx.tx
+            r = ctx.bx
+            states = [red.videntity(ctx.shape) for red in reducers]
+            for s in range(merge_steps):
+                c = tx + s * threads
+                m = c < nblocks
+                if not np.any(m):
+                    break
+                offset = 0
+                for q, red in enumerate(reducers):
+                    part = tuple(
+                        ctx.gload(partials,
+                                  ((offset + w) * narrays + r) * nblocks + c,
+                                  m)
+                        for w in range(widths[q]))
+                    states[q] = _select_state(
+                        m, red.vcombine(states[q], part), states[q])
+                    offset += widths[q]
+            for q in range(Q):
+                for w in range(widths[q]):
+                    ctx.sstore(slot(q, w), tx, states[q][w])
+            ctx.sync()
+            active = threads // 2
+            for _step in range(tree_steps):
+                m = tx < active
+                for q, red in enumerate(reducers):
+                    a = tuple(ctx.sload(slot(q, w), tx, m)
+                              for w in range(widths[q]))
+                    b = tuple(ctx.sload(slot(q, w), tx + active, m)
+                              for w in range(widths[q]))
+                    merged = red.vcombine(a, b)
+                    for w in range(widths[q]):
+                        ctx.sstore(slot(q, w), tx, merged[w], m)
+                ctx.sync()
+                active //= 2
+            m0 = tx == 0
+            offset = 0
+            for q, red in enumerate(reducers):
+                final = tuple(ctx.sload(slot(q, w), 0, m0)
+                              for w in range(widths[q]))
+                for value in red.vepilogue(final):
+                    ctx.gstore(out, r * per_array + offset, value, m0)
+                    offset += 1
+
         device.launch(Kernel(f"{self.name}_h_initial", initial_body, 20,
-                             shared),
+                             shared, vector_body=initial_vector),
                       narrays * nblocks, threads, {"in": inbuf})
-        device.launch(Kernel(f"{self.name}_h_merge", merge_body, 16, shared),
+        device.launch(Kernel(f"{self.name}_h_merge", merge_body, 16, shared,
+                             vector_body=merge_vector),
                       narrays, threads, {})
         return out
 

@@ -72,6 +72,11 @@ def _index_fn(layout: str, shape: ReduceShape, params):
     raise ValueError(f"unknown reduction layout {layout!r}")
 
 
+def _select_state(mask, new, old):
+    """Lane-wise pick of reducer state tuples (arrays) by ``mask``."""
+    return tuple(np.where(mask, n, o) for n, o in zip(new, old))
+
+
 def restructure_host(data: np.ndarray, layout: str, shape: ReduceShape,
                      params) -> np.ndarray:
     """CPU-side memory restructuring (§4.1.1) into the plan's layout."""
@@ -216,10 +221,53 @@ class ReduceSingleKernelPlan(_ReducePlanBase):
                     for m, value in enumerate(reducer.epilogue(final)):
                         ctx.gstore(out, r * out_w + m, value)
 
+        acc_steps = math.ceil(length / threads) if length else 0
+
+        def vector_body(ctx):
+            tx = ctx.tx
+            for rr in range(rows_per_block):
+                r = ctx.bx * rows_per_block + rr
+                in_range = np.broadcast_to(r < narrays, ctx.shape)
+                state = reducer.videntity(ctx.shape)
+                for s in range(acc_steps):
+                    i = tx + s * threads
+                    m = in_range & (i < length)
+                    if not m.any():
+                        break
+                    vals = [ctx.gload(inbuf, addr(r, i, j), m)
+                            for j in range(k)]
+                    safe_i = np.where(m, i, 0)
+                    state = _select_state(
+                        m,
+                        reducer.vcombine(state,
+                                         reducer.velement(vals, safe_i)),
+                        state)
+                for w in range(width):
+                    ctx.sstore(f"s{w}", tx, state[w], in_range)
+                ctx.sync()
+                active = threads // 2
+                for _step in range(tree_steps):
+                    m = in_range & (tx < active)
+                    a = tuple(ctx.sload(f"s{w}", tx, m)
+                              for w in range(width))
+                    b = tuple(ctx.sload(f"s{w}", tx + active, m)
+                              for w in range(width))
+                    merged = reducer.vcombine(a, b)
+                    for w in range(width):
+                        ctx.sstore(f"s{w}", tx, merged[w], m)
+                    ctx.sync()
+                    active //= 2
+                m0 = in_range & (tx == 0)
+                final = tuple(ctx.sload(f"s{w}", 0, m0)
+                              for w in range(width))
+                for m_out, value in enumerate(reducer.vepilogue(final)):
+                    ctx.gstore(out, r * out_w + m_out, value, m0)
+
         kernel = Kernel(
             f"{self.name}_single", body, regs_per_thread=18,
             shared_spec={f"s{w}": (threads, np.float64)
-                         for w in range(width)})
+                         for w in range(width)},
+            vector_body=vector_body)
         blocks = max(1, math.ceil(narrays / rows_per_block))
         device.launch(kernel, blocks, threads, {"in": inbuf, "out": out})
         return out
@@ -385,12 +433,82 @@ class ReduceTwoKernelPlan(_ReducePlanBase):
                 for m, value in enumerate(reducer.epilogue(final)):
                     ctx.gstore(out, r * out_w + m, value)
 
+        acc_steps = math.ceil(chunk / threads) if chunk else 0
+        merge_steps = math.ceil(nblocks / threads)
+
+        def _vector_tree(ctx, tx):
+            active = threads // 2
+            for _step in range(tree_steps):
+                m = tx < active
+                a = tuple(ctx.sload(f"s{w}", tx, m) for w in range(width))
+                b = tuple(ctx.sload(f"s{w}", tx + active, m)
+                          for w in range(width))
+                merged = reducer.vcombine(a, b)
+                for w in range(width):
+                    ctx.sstore(f"s{w}", tx, merged[w], m)
+                ctx.sync()
+                active //= 2
+
+        def initial_vector(ctx):
+            tx = ctx.tx
+            r = ctx.bx // nblocks
+            c = ctx.bx % nblocks
+            lo = c * chunk
+            hi = np.minimum(length, lo + chunk)
+            state = reducer.videntity(ctx.shape)
+            for s in range(acc_steps):
+                i = lo + tx + s * threads
+                m = i < hi
+                if not m.any():
+                    break
+                vals = [ctx.gload(inbuf, addr(r, i, j), m)
+                        for j in range(k)]
+                safe_i = np.where(m, i, 0)
+                state = _select_state(
+                    m,
+                    reducer.vcombine(state, reducer.velement(vals, safe_i)),
+                    state)
+            for w in range(width):
+                ctx.sstore(f"s{w}", tx, state[w])
+            ctx.sync()
+            _vector_tree(ctx, tx)
+            m0 = tx == 0
+            final = tuple(ctx.sload(f"s{w}", 0, m0) for w in range(width))
+            for w in range(width):
+                ctx.gstore(partials, (w * narrays + r) * nblocks + c,
+                           final[w], m0)
+
+        def merge_vector(ctx):
+            tx = ctx.tx
+            r = ctx.bx
+            state = reducer.videntity(ctx.shape)
+            for s in range(merge_steps):
+                c = tx + s * threads
+                m = c < nblocks
+                if not np.any(m):
+                    break
+                part = tuple(
+                    ctx.gload(partials, (w * narrays + r) * nblocks + c, m)
+                    for w in range(width))
+                state = _select_state(
+                    m, reducer.vcombine(state, part), state)
+            for w in range(width):
+                ctx.sstore(f"s{w}", tx, state[w])
+            ctx.sync()
+            _vector_tree(ctx, tx)
+            m0 = tx == 0
+            final = tuple(ctx.sload(f"s{w}", 0, m0) for w in range(width))
+            for m_out, value in enumerate(reducer.vepilogue(final)):
+                ctx.gstore(out, r * out_w + m_out, value, m0)
+
         shared = {f"s{w}": (threads, np.float64) for w in range(width)}
         device.launch(
-            Kernel(f"{self.name}_initial", initial_body, 18, shared),
+            Kernel(f"{self.name}_initial", initial_body, 18, shared,
+                   vector_body=initial_vector),
             narrays * nblocks, threads, {"in": inbuf})
         device.launch(
-            Kernel(f"{self.name}_merge", merge_body, 16, shared),
+            Kernel(f"{self.name}_merge", merge_body, 16, shared,
+                   vector_body=merge_vector),
             narrays, threads, {})
         return out
 
@@ -458,7 +576,19 @@ class ReduceThreadPerArrayPlan(_ReducePlanBase):
             for m, value in enumerate(reducer.epilogue(state)):
                 ctx.gstore(out, r * out_w + m, value)
 
-        kernel = Kernel(f"{self.name}_tpa", body, regs_per_thread=16)
+        def vector_body(ctx):
+            r = ctx.global_tid
+            mask = r < narrays
+            state = reducer.videntity(ctx.shape)
+            for i in range(length):
+                vals = [ctx.gload(inbuf, addr(r, i, j), mask)
+                        for j in range(k)]
+                state = reducer.vcombine(state, reducer.velement(vals, i))
+            for m_out, value in enumerate(reducer.vepilogue(state)):
+                ctx.gstore(out, r * out_w + m_out, value, mask)
+
+        kernel = Kernel(f"{self.name}_tpa", body, regs_per_thread=16,
+                        vector_body=vector_body)
         blocks = max(1, math.ceil(narrays / self.threads))
         device.launch(kernel, blocks, self.threads,
                       {"in": inbuf, "out": out})

@@ -24,7 +24,7 @@ import numpy as np
 from ...gpu import SYNC, Device, DeviceArray, GPUSpec, Kernel
 from ...ir.patterns import StencilPattern
 from ...perfmodel import KernelWorkload
-from ..exprgen import compile_scalar_fn
+from ..exprgen import compile_scalar_fn, compile_vector_fn
 from .base import IN, KernelPlan, PlannedLaunch, expr_ops
 
 
@@ -113,6 +113,21 @@ class _StencilPlanBase(KernelPlan):
                                          params, name="fallback")
         return compute, guard, fallback
 
+    def _vfns(self, params):
+        noff = len(self.pattern.offsets)
+        args = [f"_p{k}" for k in range(noff)] + ["_i"]
+        vcompute = compile_vector_fn(self.pattern.compute, args, params,
+                                     name="vcompute")
+        vguard = None
+        if self.pattern.guard is not None:
+            vguard = compile_vector_fn(self.pattern.guard, ["_i"], params,
+                                       name="vguard")
+        vfallback = None
+        if self.pattern.guard_else is not None:
+            vfallback = compile_vector_fn(self.pattern.guard_else, args,
+                                          params, name="vfallback")
+        return vcompute, vguard, vfallback
+
     def _compute_ops(self) -> int:
         return expr_ops(self.pattern.compute) + 4
 
@@ -164,7 +179,37 @@ class NaiveStencilPlan(_StencilPlanBase):
                 else:
                     ctx.gstore(out, i, center)
 
-        kernel = Kernel(f"{self.name}_naive", body, regs_per_thread=18)
+        vcompute, vguard, vfallback = self._vfns(params)
+
+        def vector_body(ctx):
+            # Mirrors the scalar per-lane access sequences: ok lanes load
+            # every tap, guard-excluded lanes load only the center, and all
+            # alive lanes store once.
+            i = ctx.global_tid
+            alive = i < size
+            if not alive.any():
+                return
+            safe_i = np.where(alive, i, 0)
+            if vguard is None:
+                ok = np.ones(i.shape, dtype=bool)
+                for d in disps:
+                    ok &= (i + d >= 0) & (i + d < size)
+            else:
+                ok = np.asarray(vguard(safe_i), dtype=bool)
+            okm = alive & ok
+            elm = alive & ~ok
+            vals = [ctx.gload(inbuf, np.where(okm, i + d, 0), okm)
+                    for d in disps]
+            center = ctx.gload(inbuf, i, elm)
+            result = vcompute(*vals, safe_i)
+            if vfallback is not None:
+                alt = vfallback(*([center] * len(disps)), safe_i)
+            else:
+                alt = center
+            ctx.gstore(out, i, np.where(ok, result, alt), alive)
+
+        kernel = Kernel(f"{self.name}_naive", body, regs_per_thread=18,
+                        vector_body=vector_body)
         blocks = max(1, math.ceil(size / threads))
         device.launch(kernel, blocks, threads, {"in": inbuf, "out": out})
         return out
@@ -324,9 +369,64 @@ class TiledStencilPlan(_StencilPlanBase):
                             ctx.gstore(out, i, center)
                 c += threads
 
+        vcompute, vguard, vfallback = self._vfns(params)
+        stage_steps = math.ceil(staged / threads)
+        comp_steps = math.ceil(tw * th / threads)
+
+        def vector_body(ctx):
+            t_y = ctx.bx // tiles_x
+            t_x = ctx.bx % tiles_x
+            x0 = t_x * tw - hx
+            y0 = t_y * th - hy
+            for step in range(stage_steps):
+                s = ctx.tx + step * threads
+                m = s < staged
+                if not m.any():
+                    break
+                sy, sx = np.divmod(s, sw)
+                gy = y0 + sy
+                gx = x0 + sx
+                inb = (m & (gy >= 0) & (gy < height)
+                       & (gx >= 0) & (gx < width))
+                v = ctx.gload(inbuf, gy * width + gx, inb)
+                ctx.sstore("tile", s, np.where(inb, v, 0.0), m)
+            ctx.sync()
+            for step in range(comp_steps):
+                c = ctx.tx + step * threads
+                cy, cx = np.divmod(c, tw)
+                gy = t_y * th + cy
+                gx = t_x * tw + cx
+                cell = (c < tw * th) & (gy < height) & (gx < width)
+                if not cell.any():
+                    continue
+                i = gy * width + gx
+                safe_i = np.where(cell, i, 0)
+                interior = np.ones(cell.shape, dtype=bool)
+                for dy, dx in pairs:
+                    interior &= ((gy + dy >= 0) & (gy + dy < height)
+                                 & (gx + dx >= 0) & (gx + dx < width))
+                if vguard is None:
+                    ok = interior
+                else:
+                    ok = np.asarray(vguard(safe_i), dtype=bool) & interior
+                okm = cell & ok
+                elm = cell & ~ok
+                ly = cy + hy
+                lx = cx + hx
+                vals = [ctx.sload("tile", (ly + dy) * sw + (lx + dx), okm)
+                        for dy, dx in pairs]
+                center = ctx.sload("tile", ly * sw + lx, elm)
+                result = vcompute(*vals, safe_i)
+                if vfallback is not None:
+                    alt = vfallback(*([center] * len(pairs)), safe_i)
+                else:
+                    alt = center
+                ctx.gstore(out, i, np.where(ok, result, alt), cell)
+
         kernel = Kernel(
             f"{self.name}_tiled", body, regs_per_thread=20,
-            shared_spec={"tile": (staged, np.float64)})
+            shared_spec={"tile": (staged, np.float64)},
+            vector_body=vector_body)
         device.launch(kernel, tiles_x * tiles_y, threads,
                       {"in": inbuf, "out": out})
         return out

@@ -22,7 +22,8 @@ import numpy as np
 from ..ir import nodes as N
 from ..ir.patterns import ArgReducePattern, ReductionPattern
 from .exprgen import (c_combine, c_expr, combine_identity,
-                      compile_scalar_fn)
+                      compile_scalar_fn, compile_vector_combine_fn,
+                      compile_vector_fn)
 
 
 def _expr_ops(expr: N.Expr) -> int:
@@ -55,6 +56,21 @@ class Reducer:
         raise NotImplementedError
 
     def epilogue(self, state: Tuple[float, ...]) -> List[float]:
+        raise NotImplementedError
+
+    # -- vectorized (array-state) counterparts ---------------------------
+    # Same semantics lane-wise; used by the plans' ``vector_body``
+    # emitters.  States are tuples of float64 arrays.
+    def videntity(self, shape) -> Tuple[np.ndarray, ...]:
+        raise NotImplementedError
+
+    def velement(self, values, i) -> Tuple[np.ndarray, ...]:
+        raise NotImplementedError
+
+    def vcombine(self, a, b) -> Tuple[np.ndarray, ...]:
+        raise NotImplementedError
+
+    def vepilogue(self, state) -> List[np.ndarray]:
         raise NotImplementedError
 
     # -- cost metadata ---------------------------------------------------
@@ -97,9 +113,11 @@ class ScalarReducer(Reducer):
             "min": min,
             "max": max,
         }[self.kind]
+        self._vcombine = compile_vector_combine_fn(self.kind)
         if params is None:
             # Symbolic mode: only cost metadata and CUDA emission are valid.
             self._elem = self._epi = None
+            self._velem = self._vepi = None
             self.init_value = None
             return
         arg_names = [f"_x{k}" for k in range(self.pops_per_iter)] + ["_i"]
@@ -107,6 +125,10 @@ class ScalarReducer(Reducer):
                                        name="elem", arrays=self.arrays)
         self._epi = compile_scalar_fn(pattern.epilogue, ["_acc"], params,
                                       name="epi", arrays=self.arrays)
+        self._velem = compile_vector_fn(pattern.element, arg_names, params,
+                                        name="velem", arrays=self.arrays)
+        self._vepi = compile_vector_fn(pattern.epilogue, ["_acc"], params,
+                                       name="vepi", arrays=self.arrays)
         # The sequential semantics start from the actor's declared init
         # value (e.g. acc = 0.0), folded in by the merge epilogue.
         init = compile_scalar_fn(pattern.init, [], params, name="init",
@@ -125,6 +147,21 @@ class ScalarReducer(Reducer):
     def epilogue(self, state):
         acc = self._combine(self.init_value, state[0])
         return [self._epi(acc)]
+
+    # -- vectorized ------------------------------------------------------
+    def videntity(self, shape):
+        return (np.full(shape, combine_identity(self.kind),
+                        dtype=np.float64),)
+
+    def velement(self, values, i):
+        return (self._velem(*values, i),)
+
+    def vcombine(self, a, b):
+        return (self._vcombine(a[0], b[0]),)
+
+    def vepilogue(self, state):
+        acc = self._vcombine(self.init_value, state[0])
+        return [self._vepi(acc)]
 
     def element_ops(self) -> int:
         return max(1, _expr_ops(self.pattern.element))
@@ -169,10 +206,13 @@ class ArgReducer(Reducer):
         self._better: Callable[[float, float], bool] = (
             (lambda a, b: a > b) if self.cmp == ">" else (lambda a, b: a < b))
         if params is None:
-            self._elem = None
+            self._elem = self._velem = None
             return
         self._elem = compile_scalar_fn(pattern.element, ["_x0", "_i"], params,
                                        name="elem", arrays=self.arrays)
+        self._velem = compile_vector_fn(pattern.element, ["_x0", "_i"],
+                                        params, name="velem",
+                                        arrays=self.arrays)
 
     def identity(self) -> Tuple[float, ...]:
         worst = -math.inf if self.cmp == ">" else math.inf
@@ -191,6 +231,28 @@ class ArgReducer(Reducer):
         return a
 
     def epilogue(self, state):
+        out = [state[1]]
+        if self.pattern.pushes_value:
+            out.append(state[0])
+        return out
+
+    # -- vectorized ------------------------------------------------------
+    def videntity(self, shape):
+        worst = -math.inf if self.cmp == ">" else math.inf
+        return (np.full(shape, worst, dtype=np.float64),
+                np.full(shape, -1.0, dtype=np.float64))
+
+    def velement(self, values, i):
+        value = self._velem(values[0], i)
+        return (value, np.broadcast_to(
+            np.asarray(i), value.shape).astype(np.float64))
+
+    def vcombine(self, a, b):
+        better = (b[0] > a[0]) if self.cmp == ">" else (b[0] < a[0])
+        take = better | ((b[0] == a[0]) & (b[1] >= 0) & (b[1] < a[1]))
+        return (np.where(take, b[0], a[0]), np.where(take, b[1], a[1]))
+
+    def vepilogue(self, state):
         out = [state[1]]
         if self.pattern.pushes_value:
             out.append(state[0])

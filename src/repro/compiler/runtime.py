@@ -29,7 +29,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..gpu import Device, GPUSpec, PCIE_BANDWIDTH_GBPS
+from ..gpu import Device, EXEC_MODES, GPUSpec, PCIE_BANDWIDTH_GBPS
 from ..perfmodel import PerformanceModel, Variant, geometric_points, \
     sweep_axis
 from .plans.base import IN, KernelPlan, freeze_scalars
@@ -169,14 +169,28 @@ class CompiledProgram:
     def run(self, host_input: np.ndarray, params: Dict[str, float],
             device: Optional[Device] = None,
             force: Optional[Dict[str, str]] = None,
-            input_on_host: bool = True) -> RunResult:
+            input_on_host: bool = True,
+            exec_mode: Optional[str] = None) -> RunResult:
         """Execute functionally on the simulator device.
 
         ``input_on_host=False`` models data already resident on the
         device: selection is constrained to plans that need no host-side
         restructuring (the ``_eligible`` contract), and none is applied.
+
+        ``exec_mode`` selects the executor path (``"reference"`` or
+        ``"vectorized"``); it overrides the mode of a passed-in ``device``
+        and otherwise configures the one created here.  Both paths produce
+        bit-identical outputs — vectorized is a fast path for kernels that
+        carry a vector body, never a semantics change.
         """
-        device = device or Device(self.spec)
+        if exec_mode is not None and exec_mode not in EXEC_MODES:
+            raise ValueError(f"unknown exec_mode {exec_mode!r}; "
+                             f"expected one of {EXEC_MODES}")
+        if device is None:
+            device = Device(self.spec,
+                            **({"exec_mode": exec_mode} if exec_mode else {}))
+        elif exec_mode is not None:
+            device.exec_mode = exec_mode
         params = dict(params)
         host_input = np.asarray(host_input, dtype=np.float64).reshape(-1)
         if self.program.input_size is not None:

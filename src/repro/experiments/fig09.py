@@ -10,10 +10,13 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+import numpy as np
+
 from .. import apps
 from ..baselines import cublas, sdk
 from ..compiler import AdapticCompiler
-from ..gpu import GPUSpec, TESLA_C2050
+from ..gpu import (DeviceArray, GPUSpec, MODE_REFERENCE, MODE_VECTORIZED,
+                   TESLA_C2050)
 from .common import FigureResult, Series, model_for, shape_label, size_label
 
 #: Seven vector sizes for the CUBLAS reductions.
@@ -116,6 +119,35 @@ def run_benchmark_stats(name: str, spec: GPUSpec = TESLA_C2050):
         labels.append(label)
         speedups.append(t_base / t_adaptic)
     return Series(name, labels, speedups), compiled.stats
+
+
+def functional_check(name: str = "sdot", n: int = 4096,
+                     spec: GPUSpec = TESLA_C2050, seed: int = 0):
+    """Execute one reduction benchmark in both executor modes.
+
+    The figure itself is model-driven, so its numbers cannot drift with
+    the executor — but the plans it ranks are the ones the simulator
+    runs.  This spot check pushes a real input through the compiled
+    program under the reference coroutine interpreter and under the
+    vectorized block executor and demands bit-identical output buffers.
+    Returns the (shared) output array.
+    """
+    if name not in ("isamax", "snrm2", "sasum", "sdot"):
+        raise KeyError(f"functional check covers the CUBLAS reductions, "
+                       f"not {name!r}")
+    rng = np.random.default_rng(seed)
+    data = apps.blas1.make_input(name, n, 1, rng)
+    params = {"n": n, "r": 1}
+    compiled = AdapticCompiler(spec).compile(_program(name))
+    outputs = {}
+    for mode in (MODE_REFERENCE, MODE_VECTORIZED):
+        DeviceArray.reset_base_allocator()
+        outputs[mode] = np.asarray(
+            compiled.run(data, params, exec_mode=mode).output)
+    ref, vec = outputs[MODE_REFERENCE], outputs[MODE_VECTORIZED]
+    if ref.tobytes() != vec.tobytes():
+        raise AssertionError(f"{name}: executor modes disagree")
+    return ref
 
 
 def run_benchmark(name: str, spec: GPUSpec = TESLA_C2050) -> Series:

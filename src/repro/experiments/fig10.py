@@ -10,10 +10,13 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+import numpy as np
+
 from ..apps import tmv
 from ..baselines import cublas
 from ..compiler import AdapticCompiler
-from ..gpu import GPUSpec, TESLA_C2050
+from ..gpu import (DeviceArray, GPUSpec, MODE_REFERENCE, MODE_VECTORIZED,
+                   TESLA_C2050)
 from .common import FigureResult, Series, model_for, shape_label
 
 PANELS = {"1M": 1 << 20, "4M": 4 << 20, "16M": 16 << 20}
@@ -55,6 +58,30 @@ def run_panel(total_elements: int,
         unit="GFLOPS",
         notes=f"Adaptic kernels used across the sweep: {distinct}\n"
               f"selection: {compiled.stats.summary()}")
+
+
+def functional_check(rows: int = 48, cols: int = 160,
+                     spec: GPUSpec = TESLA_C2050, seed: int = 0):
+    """Execute one TMV shape in both executor modes.
+
+    Pushes a real matrix through the compiled program under the
+    reference coroutine interpreter and under the vectorized block
+    executor and demands bit-identical output buffers, so the kernels
+    the sweep ranks are known to agree however they are executed.
+    Returns the (shared) output array.
+    """
+    rng = np.random.default_rng(seed)
+    matrix, _vec, params = tmv.make_input(rows, cols, rng)
+    compiled = AdapticCompiler(spec).compile(tmv.build())
+    outputs = {}
+    for mode in (MODE_REFERENCE, MODE_VECTORIZED):
+        DeviceArray.reset_base_allocator()
+        outputs[mode] = np.asarray(
+            compiled.run(matrix, params, exec_mode=mode).output)
+    ref, vec = outputs[MODE_REFERENCE], outputs[MODE_VECTORIZED]
+    if ref.tobytes() != vec.tobytes():
+        raise AssertionError(f"tmv {rows}x{cols}: executor modes disagree")
+    return ref
 
 
 def run(spec: GPUSpec = TESLA_C2050) -> Dict[str, FigureResult]:

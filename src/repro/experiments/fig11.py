@@ -15,10 +15,13 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+import numpy as np
+
 from ..apps import bicgstab
 from ..baselines.cublas import bicgstab_step_seconds
 from ..compiler import AdapticCompiler, AdapticOptions
-from ..gpu import GPUSpec, GTX_285, TESLA_C2050
+from ..gpu import (DeviceArray, GPUSpec, GTX_285, MODE_REFERENCE,
+                   MODE_VECTORIZED, TESLA_C2050)
 from .common import FigureResult, Series, combined_stats, model_for
 
 SIZES = [512, 1024, 2048, 4096, 8192]
@@ -90,6 +93,41 @@ def adaptic_iteration_seconds(options: AdapticOptions, n: int,
         total += compiled.predicted_seconds(_step_params(step, n),
                                             include_transfers=False)
     return total
+
+
+def functional_check(n: int = 96, spec: GPUSpec = TESLA_C2050,
+                     seed: int = 0) -> List[str]:
+    """Execute every vector BiCGSTAB step in both executor modes.
+
+    The gemv steps are skipped: they carry the device-resident ``vec``
+    constant that the model drivers never materialize on the host.  Each
+    remaining step runs end to end under the reference coroutine
+    interpreter and under the vectorized block executor; the two output
+    buffers must be bit-identical.  Returns the step names checked.
+    """
+    rng = np.random.default_rng(seed)
+    compiler = AdapticCompiler(spec)
+    checked: List[str] = []
+    mismatches: List[str] = []
+    for step in bicgstab.step_specs():
+        if step.name.startswith("gemv"):
+            continue
+        params = _step_params(step, n)
+        data = rng.standard_normal(
+            step.program.input_size.evaluate(params))
+        compiled = compiler.compile(step.program)
+        outputs = {}
+        for mode in (MODE_REFERENCE, MODE_VECTORIZED):
+            DeviceArray.reset_base_allocator()
+            outputs[mode] = np.asarray(
+                compiled.run(data, params, exec_mode=mode).output)
+        if (outputs[MODE_REFERENCE].tobytes()
+                != outputs[MODE_VECTORIZED].tobytes()):
+            mismatches.append(step.name)
+        checked.append(step.name)
+    if mismatches:
+        raise AssertionError(f"executor modes disagree on: {mismatches}")
+    return checked
 
 
 def cublas_iteration_seconds(n: int, spec: GPUSpec) -> float:

@@ -3,7 +3,9 @@
 This package is the reproduction's stand-in for real NVIDIA hardware: it
 executes kernels with CUDA semantics (blocks, warps, shared memory,
 ``__syncthreads``) and instruments the memory system (coalescing, bank
-conflicts) that the paper's optimizations manipulate.
+conflicts) that the paper's optimizations manipulate.  Kernels run either
+through the per-thread reference interpreter or — when they carry a
+``vector_body`` — through the array-at-a-time vectorized fast path.
 """
 
 from .arch import (GPUSpec, GTX_285, GTX_480, TARGETS,
@@ -11,9 +13,13 @@ from .arch import (GPUSpec, GTX_285, GTX_480, TARGETS,
 from .device import Device, PCIE_BANDWIDTH_GBPS, TransferRecord
 from .executor import (BarrierDivergenceError, Executor, LaunchError,
                        LaunchStats)
-from .kernel import SYNC, Dim3, Kernel, LaunchConfig, ThreadCtx
-from .memory import (DeviceArray, MemoryTracer, SharedMemory,
+from .kernel import (SYNC, AmbiguousKernelBodyError, Dim3, Kernel,
+                     LaunchConfig, ThreadCtx, kernel_uses_barriers)
+from .memory import (BANK_WORD_BYTES, DeviceArray, MemoryTracer,
+                     SharedMemory, bank_conflict_cycles,
                      bank_conflict_degree, coalesce_transactions)
+from .vectorized import (EXEC_MODES, MODE_REFERENCE, MODE_VECTORIZED,
+                         VectorCtx, VectorTracer)
 
 __all__ = [
     "GPUSpec", "TESLA_C2050", "GTX_285", "GTX_480", "TARGETS",
@@ -21,6 +27,10 @@ __all__ = [
     "Device", "TransferRecord", "PCIE_BANDWIDTH_GBPS",
     "Executor", "LaunchError", "LaunchStats", "BarrierDivergenceError",
     "Kernel", "LaunchConfig", "ThreadCtx", "Dim3", "SYNC",
+    "AmbiguousKernelBodyError", "kernel_uses_barriers",
     "DeviceArray", "SharedMemory", "MemoryTracer",
     "coalesce_transactions", "bank_conflict_degree",
+    "bank_conflict_cycles", "BANK_WORD_BYTES",
+    "EXEC_MODES", "MODE_REFERENCE", "MODE_VECTORIZED",
+    "VectorCtx", "VectorTracer",
 ]

@@ -1,13 +1,20 @@
 """Functional SIMT executor.
 
 Executes a :class:`~repro.gpu.kernel.Kernel` over a grid with CUDA block /
-barrier semantics:
+barrier semantics.  Two execution modes share one entry point:
 
-* blocks are independent and executed one after another;
-* within a block every thread runs as a coroutine; at each
+* **reference** (default) — blocks are independent and executed one after
+  another; within a block every thread runs as a coroutine; at each
   ``__syncthreads()`` (a ``yield`` in the body) the executor parks the
-  thread and resumes it only after all live threads of the block reached the
-  same barrier.
+  thread and resumes it only after all live threads of the block reached
+  the same barrier.  This is the semantics oracle.
+* **vectorized** — kernels that carry a ``vector_body`` (whole-grid numpy
+  implementation, emitted by the plan layer for barrier-free or
+  warp-synchronous bodies) execute array-at-a-time via
+  :class:`~repro.gpu.vectorized.VectorCtx`; tracing runs on address arrays
+  and reports identical :class:`LaunchStats`.  Kernels without a vector
+  body (or with multi-dimensional launches) fall back to the reference
+  interpreter — the mode is a fast path, never a semantics change.
 
 The executor checks the CUDA rule that a barrier must be reached by all
 threads of the block or by none (divergent barriers raise
@@ -21,12 +28,17 @@ the paper uses (nvcc executes, the Hong & Kim model predicts).
 from __future__ import annotations
 
 import dataclasses
-import inspect
+from types import GeneratorType
 from typing import Any, Dict, Optional
 
+import numpy as np
+
 from .arch import GPUSpec
-from .kernel import Dim3, Kernel, LaunchConfig, ThreadCtx
+from .kernel import (Dim3, Kernel, LaunchConfig, ThreadCtx,
+                     kernel_uses_barriers)
 from .memory import MemoryTracer, SharedMemory
+from .vectorized import (EXEC_MODES, MODE_REFERENCE, MODE_VECTORIZED,
+                         VectorCtx, VectorTracer)
 
 
 class LaunchError(RuntimeError):
@@ -61,18 +73,29 @@ class LaunchStats:
 class Executor:
     """Runs kernels functionally against a :class:`GPUSpec`'s limits."""
 
-    def __init__(self, spec: GPUSpec):
+    def __init__(self, spec: GPUSpec, default_mode: str = MODE_REFERENCE):
         self.spec = spec
+        self.default_mode = default_mode
+        self.reference_launches = 0
+        self.vectorized_launches = 0
+        self.vector_fallbacks = 0
 
     # ------------------------------------------------------------------
     def launch(self, kernel: Kernel, config: LaunchConfig,
-               args: Dict[str, Any],
-               trace: bool = False) -> Optional[LaunchStats]:
+               args: Dict[str, Any], trace: bool = False,
+               mode: Optional[str] = None) -> Optional[LaunchStats]:
         """Execute ``kernel`` over ``config`` with ``args``.
 
         Mutates the :class:`DeviceArray` arguments in place, exactly like a
         real launch.  With ``trace=True`` returns memory-system statistics.
+        ``mode`` selects the execution path (defaults to the executor's
+        ``default_mode``); the vectorized mode silently falls back to the
+        reference interpreter when the kernel has no vector body.
         """
+        mode = mode or self.default_mode
+        if mode not in EXEC_MODES:
+            raise LaunchError(f"unknown execution mode {mode!r}; "
+                              f"expected one of {EXEC_MODES}")
         block = config.block
         grid = config.grid
         if block.count == 0 or grid.count == 0:
@@ -90,8 +113,28 @@ class Executor:
                 f"{self.spec.name} limit "
                 f"{self.spec.max_shared_mem_per_block}")
 
+        if mode == MODE_VECTORIZED:
+            if kernel.vector_body is not None and self._vectorizable(config):
+                self.vectorized_launches += 1
+                return self._launch_vectorized(
+                    kernel, config, args, trace, shared_spec, shared_bytes)
+            self.vector_fallbacks += 1
+
+        self.reference_launches += 1
+        return self._launch_reference(
+            kernel, config, args, trace, shared_spec, shared_bytes)
+
+    @staticmethod
+    def _vectorizable(config: LaunchConfig) -> bool:
+        return (config.grid.y == config.grid.z == 1
+                and config.block.y == config.block.z == 1)
+
+    # ------------------------------------------------------------------
+    def _launch_reference(self, kernel, config, args, trace,
+                          shared_spec, shared_bytes):
+        block, grid = config.block, config.grid
         tracer = MemoryTracer() if trace else None
-        is_generator = inspect.isgeneratorfunction(kernel.body)
+        uses_barriers = kernel_uses_barriers(kernel)
         barriers = 0
 
         for blin in range(grid.count):
@@ -106,11 +149,17 @@ class Executor:
                 ty, tx = divmod(trem, block.x)
                 ctxs.append(ThreadCtx(tx, ty, tz, bx, by, bz, block, grid,
                                       args, smem, tracer, blin, tlin))
-            if is_generator:
+            if uses_barriers:
                 barriers += self._run_block_with_barriers(kernel, ctxs)
             else:
                 for ctx in ctxs:
-                    kernel.body(ctx)
+                    result = kernel.body(ctx)
+                    if isinstance(result, GeneratorType):
+                        raise LaunchError(
+                            f"kernel {kernel.name!r} was classified "
+                            "barrier-free but its body returned a "
+                            "generator; set kernel.meta['barriers']=True "
+                            "or unwrap the body")
 
         if tracer is None:
             return None
@@ -127,9 +176,34 @@ class Executor:
         return stats
 
     # ------------------------------------------------------------------
+    def _launch_vectorized(self, kernel, config, args, trace,
+                           shared_spec, shared_bytes):
+        tracer = VectorTracer(self.spec) if trace else None
+        ctx = VectorCtx(config.grid, config.block, args, shared_spec, tracer)
+        with np.errstate(all="ignore"):
+            kernel.vector_body(ctx)
+        if tracer is None:
+            return None
+        tracer.finalize()
+        stats = LaunchStats(
+            kernel=kernel.name, grid=config.grid, block=config.block,
+            shared_bytes_per_block=shared_bytes, barriers=ctx.barriers)
+        stats.global_transactions = tracer.global_transactions
+        stats.global_requests = tracer.global_requests
+        stats.coalesced_fraction = tracer.coalesced_fraction
+        stats.shared_bank_conflicts = tracer.shared_bank_conflicts
+        return stats
+
+    # ------------------------------------------------------------------
     def _run_block_with_barriers(self, kernel: Kernel, ctxs) -> int:
         """Advance all threads of one block phase-by-phase between barriers."""
         threads = [kernel.body(ctx) for ctx in ctxs]
+        for t in threads:
+            if not isinstance(t, GeneratorType):
+                raise LaunchError(
+                    f"kernel {kernel.name!r} was classified as using "
+                    "barriers but its body did not return a generator; "
+                    "set kernel.meta['barriers']=False or fix the body")
         live = list(range(len(threads)))
         barriers = 0
         while live:

@@ -11,6 +11,8 @@ before any proceeds — the same semantics CUDA guarantees.
 from __future__ import annotations
 
 import dataclasses
+import functools
+import inspect
 import math
 from typing import Any, Callable, Dict, Optional, Tuple
 
@@ -93,7 +95,10 @@ class ThreadCtx:
                 self._block_linear, self._thread_linear,
                 AccessEvent("global", array.address_of(index), False,
                             array.itemsize))
-        return array.data[index]
+        # Registers are 64-bit: loads widen to Python floats so both
+        # executor paths do arithmetic in float64 regardless of the
+        # array's storage dtype (stores round back identically).
+        return float(array.data[index])
 
     def gstore(self, array: DeviceArray, index, value) -> None:
         index = int(index)
@@ -107,25 +112,80 @@ class ThreadCtx:
     # -- shared memory ---------------------------------------------------
     def sload(self, name: str, index) -> Any:
         index = int(index)
+        array = self.shared[name]
         if self._tracer is not None:
             self._tracer.record(
                 self._block_linear, self._thread_linear,
-                AccessEvent("shared", self._smem.word_index(name, index),
-                            False))
-        return self.shared[name][index]
+                AccessEvent("shared", self._smem.addr(name, index),
+                            False, array.itemsize))
+        return float(array[index])
 
     def sstore(self, name: str, index, value) -> None:
         index = int(index)
+        array = self.shared[name]
         if self._tracer is not None:
             self._tracer.record(
                 self._block_linear, self._thread_linear,
-                AccessEvent("shared", self._smem.word_index(name, index),
-                            True))
-        self.shared[name][index] = value
+                AccessEvent("shared", self._smem.addr(name, index),
+                            True, array.itemsize))
+        array[index] = value
 
 
 #: Shared-memory request: name -> (element count, numpy dtype).
 SharedSpec = Dict[str, Tuple[int, Any]]
+
+
+class AmbiguousKernelBodyError(TypeError):
+    """Raised when barrier usage cannot be inferred from a kernel body.
+
+    Generator bodies get barrier semantics, plain callables do not — so a
+    body whose kind cannot be determined (an exotic callable hiding its
+    code object) must declare itself via ``kernel.meta["barriers"]`` rather
+    than silently lose its barriers.
+    """
+
+
+def _unwrap_body(fn):
+    """Peel ``functools.partial`` layers and ``__wrapped__`` chains."""
+    seen = {id(fn)}
+    while True:
+        nxt = (fn.func if isinstance(fn, functools.partial)
+               else getattr(fn, "__wrapped__", None))
+        if nxt is None or id(nxt) in seen:
+            return fn
+        seen.add(id(nxt))
+        fn = nxt
+
+
+def kernel_uses_barriers(kernel: "Kernel") -> bool:
+    """Whether a kernel body must run under barrier (generator) semantics.
+
+    ``kernel.meta["barriers"]`` overrides inference.  Otherwise the body is
+    unwrapped through ``functools.partial`` and decorator ``__wrapped__``
+    chains before testing for generator-ness, so wrapped barrier kernels
+    are never misclassified as straight-line code.  Raises
+    :class:`AmbiguousKernelBodyError` for callables whose kind cannot be
+    determined.
+    """
+    meta = getattr(kernel, "meta", None) or {}
+    if "barriers" in meta:
+        return bool(meta["barriers"])
+    fn = _unwrap_body(kernel.body)
+    if inspect.isgeneratorfunction(fn):
+        return True
+    if inspect.isfunction(fn) or inspect.ismethod(fn) or \
+            inspect.isbuiltin(fn):
+        return False
+    call = getattr(type(fn), "__call__", None)
+    if call is not None and not inspect.isclass(fn):
+        call = _unwrap_body(call)
+        if inspect.isgeneratorfunction(call):
+            return True
+        if inspect.isfunction(call):
+            return False
+    raise AmbiguousKernelBodyError(
+        f"cannot tell whether kernel body {kernel.body!r} uses barriers; "
+        "set kernel.meta['barriers'] explicitly")
 
 
 @dataclasses.dataclass
@@ -144,6 +204,9 @@ class Kernel:
     shared_spec: Any = None
     source: Optional[str] = None          # generated CUDA C, when available
     meta: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: Optional whole-grid numpy implementation with identical semantics to
+    #: ``body``; the executor's vectorized mode uses it when present.
+    vector_body: Optional[Callable] = None
 
     def shared_for(self, args: Dict[str, Any], block: Dim3) -> SharedSpec:
         if self.shared_spec is None:

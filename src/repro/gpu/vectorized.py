@@ -1,0 +1,261 @@
+"""Vectorized (array-at-a-time) kernel execution.
+
+The reference executor interprets every thread as a Python coroutine —
+exact, but the dominant cost of every test and figure driver.  Kernels whose
+bodies are barrier-free or warp-synchronous straight-line code (the map,
+transfer and per-phase reduce/stencil bodies the plan emitters produce) can
+instead execute **all threads of the whole grid at once** as numpy
+operations over index vectors: a :class:`VectorCtx` exposes ``tx``/``bx``
+as broadcastable index arrays of shape ``(blocks, threads)`` and masked
+load/store accessors with the same semantics as
+:class:`~repro.gpu.kernel.ThreadCtx`.
+
+Tracing does not force the slow path: :class:`VectorTracer` computes
+per-warp transactions, coalesced fraction and bank conflicts directly from
+the address arrays of each access (via the batch helpers in
+:mod:`repro.gpu.memory`), using the exact same accounting as the
+per-thread :class:`~repro.gpu.memory.MemoryTracer`.
+
+Numeric contract: loads return ``float64`` arrays regardless of storage
+dtype (the reference path's ``ThreadCtx`` loads widen to Python floats the
+same way), so both paths do identical float64 arithmetic and produce
+bit-identical buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from .arch import GPUSpec
+from .kernel import Dim3
+from .memory import (DeviceArray, SharedMemory, bank_conflict_cycles,
+                     batch_bank_cycles, batch_transactions)
+
+#: Execution-mode flags for :meth:`Executor.launch` / :class:`Device`.
+MODE_REFERENCE = "reference"
+MODE_VECTORIZED = "vectorized"
+EXEC_MODES = (MODE_REFERENCE, MODE_VECTORIZED)
+
+
+class VectorTracer:
+    """Memory-system accounting over whole-launch address arrays.
+
+    Every ``record_*`` call corresponds to one static access point of the
+    kernel's vector body; the address array covers all (block, thread)
+    lanes with ``mask`` marking the active ones.  Accounting is deferred:
+    :meth:`finalize` first rebuilds the per-lane access streams (a lane's
+    ``k``-th *active* call is that lane's ``k``-th access) and regroups
+    them by (warp, position) — exactly the slots the per-thread
+    :class:`~repro.gpu.memory.MemoryTracer` forms — then runs the batch
+    helpers over all slots at once.  The regrouping is what keeps the two
+    executors' statistics identical even under intra-warp divergence
+    (different trip counts or branch-dependent access sequences): lanes
+    that skipped an access slide up, exactly as the scalar tracer's
+    per-thread event lists do.
+    """
+
+    def __init__(self, spec: GPUSpec):
+        self.spec = spec
+        self._records = {"global": [], "shared": []}
+        self._finalized = False
+        self.global_transactions = 0
+        self.global_requests = 0
+        self.coalesced_slots = 0
+        self.shared_bank_conflicts = 0
+
+    # -- recording -------------------------------------------------------
+    def record_global(self, addresses: np.ndarray, mask: np.ndarray,
+                      size: int) -> None:
+        self._records["global"].append(
+            (np.asarray(addresses, dtype=np.int64),
+             np.asarray(mask, dtype=bool), int(size)))
+
+    def record_shared(self, addresses: np.ndarray, mask: np.ndarray,
+                      size: int) -> None:
+        self._records["shared"].append(
+            (np.asarray(addresses, dtype=np.int64),
+             np.asarray(mask, dtype=bool), int(size)))
+
+    # -- stream reconstruction -------------------------------------------
+    def _slots(self, records):
+        """Positional warp slots: (addresses, mask, sizes), ``(n, warp)``."""
+        warp = self.spec.warp_size
+        addrs = np.stack([r[0] for r in records])      # (calls, blocks, T)
+        masks = np.stack([r[1] for r in records])
+        call_sizes = np.asarray([r[2] for r in records], dtype=np.int64)
+        calls, _blocks, threads = addrs.shape
+        pad = (-threads) % warp
+        if pad:
+            addrs = np.pad(addrs, ((0, 0), (0, 0), (0, pad)))
+            masks = np.pad(masks, ((0, 0), (0, 0), (0, pad)))
+        addrs = addrs.reshape(calls, -1, warp)         # (calls, rows, warp)
+        masks = masks.reshape(calls, -1, warp)
+        if not masks.any():
+            return None
+        pos = np.cumsum(masks, axis=0) - masks         # exclusive prefix
+        depth = int(pos[masks].max()) + 1
+        rows_n = addrs.shape[1]
+        addr = np.zeros((rows_n, depth, warp), dtype=np.int64)
+        mask = np.zeros((rows_n, depth, warp), dtype=bool)
+        sizes = np.zeros((rows_n, depth, warp), dtype=np.int64)
+        c, r, lane = np.nonzero(masks)
+        p = pos[c, r, lane]
+        addr[r, p, lane] = addrs[c, r, lane]
+        mask[r, p, lane] = True
+        sizes[r, p, lane] = call_sizes[c]
+        addr = addr.reshape(-1, warp)
+        mask = mask.reshape(-1, warp)
+        sizes = sizes.reshape(-1, warp)
+        active = mask.any(axis=1)
+        return addr[active], mask[active], sizes[active]
+
+    # -- accounting ------------------------------------------------------
+    def finalize(self) -> None:
+        """Regroup the recorded streams and compute the launch counters."""
+        if self._finalized:
+            return
+        self._finalized = True
+        seg = self.spec.coalesced_bytes_per_txn
+        if self._records["global"]:
+            slots = self._slots(self._records["global"])
+            if slots is not None:
+                addr, mask, sizes = slots
+                txns = batch_transactions(addr, mask, seg)
+                self.global_transactions = int(txns.sum())
+                self.global_requests = int(addr.shape[0])
+                footprint = (sizes * mask).sum(axis=1)
+                minimal = np.maximum(1, -(-footprint // seg))
+                self.coalesced_slots = int((txns <= minimal).sum())
+        if self._records["shared"]:
+            slots = self._slots(self._records["shared"])
+            if slots is not None:
+                self.shared_bank_conflicts = self._bank_cycles(*slots)
+        self._records = {"global": [], "shared": []}
+
+    def _bank_cycles(self, addr, mask, sizes) -> int:
+        banks = self.spec.shared_mem_banks
+        warp = self.spec.warp_size
+        distinct = np.unique(sizes[mask])
+        if distinct.size == 1:
+            cycles = batch_bank_cycles(addr, mask, int(distinct[0]),
+                                       banks, warp)
+            return int(cycles.sum())
+        # Mixed element widths across slots (rare): per-slot scalar helper.
+        total = 0
+        for row in range(addr.shape[0]):
+            lanes = np.nonzero(mask[row])[0]
+            total += bank_conflict_cycles(
+                addr[row, lanes].tolist(), banks,
+                sizes=sizes[row, lanes].tolist(),
+                lanes=lanes.tolist(), warp_size=warp)
+        return total
+
+    @property
+    def coalesced_fraction(self) -> float:
+        if self.global_requests == 0:
+            return 1.0
+        return self.coalesced_slots / self.global_requests
+
+
+class VectorCtx:
+    """Whole-grid execution context for ``Kernel.vector_body`` callables.
+
+    Index builtins are integer arrays broadcastable to ``(blocks,
+    threads)``; every accessor takes an optional boolean ``mask`` naming the
+    active lanes (inactive lanes neither touch memory nor reach the
+    tracer — their load results are the clamped-to-0 element and must be
+    discarded with ``np.where``).  Restricted to 1-D grids and blocks; the
+    executor falls back to the reference interpreter otherwise.
+    """
+
+    def __init__(self, grid: Dim3, block: Dim3, args: Dict[str, Any],
+                 shared_spec: Dict[str, Any],
+                 tracer: Optional[VectorTracer]):
+        self.nblocks = grid.count
+        self.threads = block.count
+        self.shape = (self.nblocks, self.threads)
+        self.gdim = grid
+        self.bdim = block
+        self.args = args
+        self.tx = np.arange(self.threads, dtype=np.int64)[None, :]
+        self.bx = np.arange(self.nblocks, dtype=np.int64)[:, None]
+        self.global_tid = self.bx * self.threads + self.tx
+        self._rows = np.broadcast_to(self.bx, self.shape)
+        self._tracer = tracer
+        self.barriers = 0
+        # Per-block shared arrays as rows of one 2-D array per name; a
+        # prototype SharedMemory supplies the byte offsets every block
+        # shares, so traced addresses match the reference path.
+        self._smem = SharedMemory(
+            {name: (size, dtype)
+             for name, (size, dtype) in (shared_spec or {}).items()})
+        self.shared = {name: np.zeros((self.nblocks, arr.shape[0]),
+                                      dtype=arr.dtype)
+                       for name, arr in self._smem.arrays.items()}
+
+    # -- builtins --------------------------------------------------------
+    def sync(self) -> None:
+        """A ``__syncthreads`` of every block (numpy ops are already
+        block-synchronous; this only keeps the barrier count)."""
+        self.barriers += self.nblocks
+
+    def full(self, value, dtype=np.float64) -> np.ndarray:
+        return np.full(self.shape, value, dtype=dtype)
+
+    # -- helpers ---------------------------------------------------------
+    def _index(self, index, mask):
+        idx = np.broadcast_to(np.asarray(index, dtype=np.int64), self.shape)
+        if mask is None:
+            return idx, None
+        m = np.broadcast_to(np.asarray(mask, dtype=bool), self.shape)
+        return np.where(m, idx, 0), m
+
+    # -- global memory ---------------------------------------------------
+    def gload(self, array: DeviceArray, index, mask=None) -> np.ndarray:
+        idx, m = self._index(index, mask)
+        if self._tracer is not None:
+            self._tracer.record_global(
+                array.base + idx * array.itemsize,
+                np.ones(self.shape, dtype=bool) if m is None else m,
+                array.itemsize)
+        return array.data[idx].astype(np.float64)
+
+    def gstore(self, array: DeviceArray, index, value, mask=None) -> None:
+        idx, m = self._index(index, mask)
+        if self._tracer is not None:
+            self._tracer.record_global(
+                array.base + idx * array.itemsize,
+                np.ones(self.shape, dtype=bool) if m is None else m,
+                array.itemsize)
+        value = np.broadcast_to(np.asarray(value), self.shape)
+        if m is None:
+            array.data[idx.ravel()] = value.ravel()
+        else:
+            array.data[idx[m]] = value[m]
+
+    # -- shared memory ---------------------------------------------------
+    def sload(self, name: str, index, mask=None) -> np.ndarray:
+        idx, m = self._index(index, mask)
+        array = self.shared[name]
+        if self._tracer is not None:
+            self._tracer.record_shared(
+                self._smem.byte_offset(name) + idx * array.itemsize,
+                np.ones(self.shape, dtype=bool) if m is None else m,
+                array.itemsize)
+        return array[self._rows, idx].astype(np.float64)
+
+    def sstore(self, name: str, index, value, mask=None) -> None:
+        idx, m = self._index(index, mask)
+        array = self.shared[name]
+        if self._tracer is not None:
+            self._tracer.record_shared(
+                self._smem.byte_offset(name) + idx * array.itemsize,
+                np.ones(self.shape, dtype=bool) if m is None else m,
+                array.itemsize)
+        value = np.broadcast_to(np.asarray(value), self.shape)
+        if m is None:
+            array[self._rows.ravel(), idx.ravel()] = value.ravel()
+        else:
+            array[self._rows[m], idx[m]] = value[m]

@@ -1,0 +1,198 @@
+"""Differential harness: reference interpreter vs vectorized executor.
+
+Every plan family's kernels run through BOTH executor paths on
+randomized shapes.  The contract is strict:
+
+* output buffers must be **bit-identical** (``tobytes`` equality, not
+  ``allclose``);
+* the traced :class:`~repro.gpu.executor.LaunchStats` must match field
+  for field — transactions, requests, coalescing, bank conflicts and
+  barrier counts — so the fast path can never skew the memory model the
+  compiler's cost functions are calibrated against.
+
+The whole module carries the ``differential`` marker so CI can select
+it (``-m differential``) or skip it; it runs in tier-1 by default.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.compiler.plans import (LAYOUT_RESTRUCTURED, MapPlan, MapShape,
+                                  NaiveStencilPlan, StencilShape,
+                                  TiledStencilPlan)
+from repro.compiler.plans.multireduce import HorizontalReducePlan
+from repro.compiler.plans.reduceplan import (LAYOUT_ROW_SOA,
+                                             LAYOUT_TRANSPOSED, ReduceShape,
+                                             ReduceSingleKernelPlan,
+                                             ReduceThreadPerArrayPlan,
+                                             ReduceTwoKernelPlan)
+from repro.compiler.reducers import ArgReducer, ScalarReducer, reducer_for
+from repro.gpu import (Device, DeviceArray, MODE_REFERENCE, MODE_VECTORIZED,
+                       TESLA_C2050)
+from repro.ir import classify, lift_code
+
+from workloads import ISAMAX_SRC, SAXPY_SRC, SDOT_SRC, STENCIL5_SRC, SUM_SRC
+
+pytestmark = pytest.mark.differential
+
+SPEC = TESLA_C2050
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def run_mode(plan, data, params, mode):
+    """Execute ``plan`` under one executor mode with tracing forced on.
+
+    Returns (output copy, [LaunchStats...], executor).  The device-array
+    base allocator is reset so both modes see identical addresses and
+    the traced transaction counts are comparable.
+    """
+    DeviceArray.reset_base_allocator()
+    dev = Device(SPEC, exec_mode=mode)
+    stats = []
+    orig = dev.launch
+
+    def launch(kernel, grid, block, args, trace=False, mode=None):
+        st = orig(kernel, grid, block, args, trace=True, mode=mode)
+        stats.append(st)
+        return st
+
+    dev.launch = launch
+    staged = plan.restructure_input(np.asarray(data), params)
+    buf = dev.to_device(staged, "in")
+    out = plan.execute(dev, {"in": buf}, params)
+    return out.data.copy(), stats, dev.executor
+
+
+def assert_differential(plan, data, params):
+    """Both paths must produce bit-identical buffers and stats."""
+    ref, ref_stats, ref_ex = run_mode(plan, data, params, MODE_REFERENCE)
+    vec, vec_stats, vec_ex = run_mode(plan, data, params, MODE_VECTORIZED)
+    assert ref_ex.reference_launches > 0
+    assert ref_ex.vectorized_launches == 0
+    assert vec_ex.vectorized_launches > 0, "fast path never engaged"
+    assert vec_ex.vector_fallbacks == 0, "fast path silently fell back"
+    assert ref.dtype == vec.dtype
+    assert ref.tobytes() == vec.tobytes(), (
+        f"outputs differ at {np.nonzero(ref != vec)[0][:8]}")
+    assert len(ref_stats) == len(vec_stats)
+    for a, b in zip(ref_stats, vec_stats):
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)
+    return ref
+
+
+# ----------------------------------------------------------------------
+# Map plans
+# ----------------------------------------------------------------------
+class TestMapDifferential:
+    @pytest.mark.parametrize("kwargs", [
+        {},
+        {"layout": LAYOUT_RESTRUCTURED},
+        {"items_per_thread": 4},
+        {"items_per_thread": 3, "layout": LAYOUT_RESTRUCTURED},
+    ])
+    def test_saxpy_variants(self, rng, kwargs):
+        pattern = classify(lift_code(SAXPY_SRC)).pattern
+        shape = MapShape(lambda p: p["n"], 2, 1)
+        n = int(rng.integers(200, 3000))
+        plan = MapPlan(SPEC, "saxpy", shape, pattern.outputs,
+                       threads=64, **kwargs)
+        params = {"n": n, "a": 2.5}
+        data = rng.standard_normal(2 * n)
+        assert_differential(plan, data, params)
+
+    def test_single_partial_block(self, rng):
+        """Fewer live threads than one block: heavy masking."""
+        pattern = classify(lift_code(SAXPY_SRC)).pattern
+        shape = MapShape(lambda p: p["n"], 2, 1)
+        plan = MapPlan(SPEC, "saxpy", shape, pattern.outputs, threads=256)
+        params = {"n": 37, "a": -1.25}
+        assert_differential(plan, rng.standard_normal(74), params)
+
+
+# ----------------------------------------------------------------------
+# Reduce plans
+# ----------------------------------------------------------------------
+class TestReduceDifferential:
+    def _plan(self, plan_cls, rng, **kw):
+        cls = classify(lift_code(SDOT_SRC))
+        shape = ReduceShape(lambda p: p.get("r", 1), lambda p: p["n"], 2)
+        plan = plan_cls(SPEC, "sdot", shape,
+                        lambda p: reducer_for(cls, p), threads=64, **kw)
+        r = int(rng.integers(1, 9))
+        n = int(rng.integers(100, 900))
+        return plan, {"r": r, "n": n}, rng.standard_normal(r * n * 2)
+
+    @pytest.mark.parametrize("plan_cls,kw", [
+        (ReduceSingleKernelPlan, {}),
+        (ReduceSingleKernelPlan, {"rows_per_block": 3}),
+        (ReduceTwoKernelPlan, {}),
+        (ReduceThreadPerArrayPlan, {"layout": LAYOUT_TRANSPOSED}),
+        (ReduceThreadPerArrayPlan, {"layout": LAYOUT_ROW_SOA}),
+    ])
+    def test_sdot_variants(self, rng, plan_cls, kw):
+        plan, params, data = self._plan(plan_cls, rng, **kw)
+        assert_differential(plan, data, params)
+
+    def test_argreduce(self, rng):
+        """(value, index) state pairs through the tree reduction."""
+        acls = classify(lift_code(ISAMAX_SRC))
+        shape = ReduceShape(lambda p: p.get("r", 1), lambda p: p["n"], 1)
+        plan = ReduceSingleKernelPlan(SPEC, "isamax", shape,
+                                      lambda p: reducer_for(acls, p),
+                                      threads=64)
+        n = int(rng.integers(100, 1200))
+        params = {"r": 3, "n": n}
+        assert_differential(plan, rng.standard_normal(3 * n), params)
+
+    @pytest.mark.parametrize("two_kernel", [False, True])
+    def test_horizontal_mixed_widths(self, rng, two_kernel):
+        """A scalar sum fused with an arg-max: mixed state widths."""
+        sum_pat = classify(lift_code(SUM_SRC)).pattern
+        argmax_pat = classify(lift_code(ISAMAX_SRC)).pattern
+        fns = [lambda p: ScalarReducer(sum_pat, p),
+               lambda p: ArgReducer(argmax_pat, p)]
+        shape = ReduceShape(lambda p: 3, lambda p: p["n"], 1)
+        plan = HorizontalReducePlan(SPEC, "mixed", shape, fns,
+                                    threads=64, two_kernel=two_kernel)
+        n = int(rng.integers(100, 700))
+        assert_differential(plan, rng.standard_normal(3 * n), {"n": n})
+
+
+# ----------------------------------------------------------------------
+# Stencil plans
+# ----------------------------------------------------------------------
+class TestStencilDifferential:
+    @pytest.mark.parametrize("plan_cls", [NaiveStencilPlan,
+                                          TiledStencilPlan])
+    def test_stencil5(self, rng, plan_cls):
+        cls = classify(lift_code(STENCIL5_SRC))
+        shape = StencilShape(lambda p: p["width"],
+                             lambda p: p["size"] // p["width"])
+        plan = plan_cls(SPEC, "st5", shape, cls.pattern, threads=64)
+        width = int(rng.integers(17, 64))
+        height = int(rng.integers(9, 48))
+        params = {"size": width * height, "width": width}
+        assert_differential(plan, rng.standard_normal(width * height),
+                            params)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: compiled programs through the figure drivers' checks
+# ----------------------------------------------------------------------
+class TestCompiledDifferential:
+    def test_fig09_sdot(self):
+        from repro.experiments import fig09
+        fig09.functional_check("sdot", n=2048)
+
+    def test_fig10_tmv(self):
+        from repro.experiments import fig10
+        fig10.functional_check(rows=24, cols=96)
+
+    def test_fig11_steps(self):
+        from repro.experiments import fig11
+        checked = fig11.functional_check(n=64)
+        assert "omega_dots" in checked and "x_update" in checked

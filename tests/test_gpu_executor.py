@@ -1,10 +1,13 @@
 """Tests for the SIMT executor: semantics, barriers, instrumentation."""
 
+import functools
+
 import numpy as np
 import pytest
 
 from repro.gpu import (BarrierDivergenceError, Device, Kernel, LaunchError,
                        SYNC, TESLA_C2050)
+from repro.gpu.kernel import AmbiguousKernelBodyError, kernel_uses_barriers
 
 
 @pytest.fixture
@@ -124,6 +127,84 @@ class TestBarriers:
         stats = dev.launch(Kernel("two_syncs", body), 2, 32, args={},
                            trace=True)
         assert stats.barriers == 4  # 2 per block x 2 blocks
+
+
+class TestBarrierDetection:
+    """Classification must survive wrapping — a decorated barrier kernel
+    silently losing its barriers is a correctness bug, not a detail."""
+
+    @staticmethod
+    def _barrier_body(ctx, scale=1.0):
+        ctx.sstore("s", ctx.tx, float(ctx.tx) * scale)
+        yield SYNC
+        ctx.gstore(ctx.args["out"], ctx.global_tid,
+                   ctx.sload("s", (ctx.tx + 1) % ctx.bdim.x))
+
+    def test_partial_wrapped_generator(self, dev):
+        body = functools.partial(self._barrier_body, scale=2.0)
+        kernel = Kernel("p", body, shared_spec={"s": (32, np.float64)})
+        assert kernel_uses_barriers(kernel)
+        out = dev.alloc(32, name="out")
+        dev.launch(kernel, 1, 32, args={"out": out})
+        assert np.array_equal(out.data,
+                              [2.0 * ((t + 1) % 32) for t in range(32)])
+
+    def test_wraps_decorated_generator(self):
+        def deco(fn):
+            @functools.wraps(fn)
+            def inner(ctx):
+                return fn(ctx)
+            return inner
+
+        kernel = Kernel("w", deco(self._barrier_body))
+        assert kernel_uses_barriers(kernel)
+
+    def test_callable_object_with_generator_call(self):
+        class Body:
+            def __call__(self, ctx):
+                yield SYNC
+
+        assert kernel_uses_barriers(Kernel("c", Body()))
+
+        class Plain:
+            def __call__(self, ctx):
+                pass
+
+        assert not kernel_uses_barriers(Kernel("c2", Plain()))
+
+    def test_ambiguous_body_raises(self):
+        class Opaque:
+            pass
+
+        opaque = Opaque()
+        with pytest.raises(AmbiguousKernelBodyError):
+            kernel_uses_barriers(Kernel("a", opaque))
+
+    def test_meta_override_beats_inference(self):
+        class Opaque:
+            pass
+
+        kernel = Kernel("m", Opaque(), meta={"barriers": True})
+        assert kernel_uses_barriers(kernel)
+        kernel = Kernel("m2", Opaque(), meta={"barriers": False})
+        assert not kernel_uses_barriers(kernel)
+
+    def test_plain_body_returning_generator_raises_loudly(self, dev):
+        def sneaky(ctx):
+            def gen():
+                yield SYNC
+            return gen()
+
+        with pytest.raises(LaunchError, match="generator"):
+            dev.launch(Kernel("sneaky", sneaky), 1, 32, args={})
+
+    def test_misdeclared_generator_raises_loudly(self, dev):
+        def barrier_body(ctx):
+            yield SYNC
+
+        kernel = Kernel("mis", barrier_body, meta={"barriers": False})
+        with pytest.raises(LaunchError, match="generator"):
+            dev.launch(kernel, 1, 32, args={})
 
 
 class TestLaunchValidation:
