@@ -9,12 +9,49 @@ text spliced into generated CUDA kernels.
 
 from __future__ import annotations
 
+import dataclasses
 import math
+import time
 from typing import Callable, Dict, Sequence
 
 import numpy as _np
 
 from ..ir import nodes as N
+
+
+@dataclasses.dataclass
+class CompileCounter:
+    """Process-wide tally of expression-compiler invocations.
+
+    The warm-path serving contract ("the Nth run at a shape compiles
+    nothing") is asserted against these counters: a warm ``run()`` must
+    leave them untouched.  ``seconds`` is the accumulated wall-clock spent
+    inside ``compile_scalar_fn``/``compile_vector_fn``, which the runtime
+    subtracts out of its kernel-stage timing.
+    """
+
+    scalar: int = 0
+    vector: int = 0
+    seconds: float = 0.0
+
+    @property
+    def total(self) -> int:
+        return self.scalar + self.vector
+
+    def snapshot(self) -> "CompileCounter":
+        return dataclasses.replace(self)
+
+    def since(self, earlier: "CompileCounter") -> "CompileCounter":
+        return CompileCounter(self.scalar - earlier.scalar,
+                              self.vector - earlier.vector,
+                              self.seconds - earlier.seconds)
+
+
+#: Shared by every plan's codegen; snapshot/since around a region to
+#: attribute compiles to it.  Mutated only under the GIL (plain int/float
+#: bumps); the runtime takes care to warm caches before fanning out to
+#: worker threads, so concurrent warm runs never touch it.
+COMPILE_COUNTER = CompileCounter()
 
 _PY_INTRINSICS = {
     "sqrt": "math.sqrt", "exp": "math.exp", "log": "math.log",
@@ -101,6 +138,7 @@ def compile_scalar_fn(expr: N.Expr, args: Sequence[str],
     ``arrays`` binds auxiliary (:class:`~repro.ir.nodes.Index`) arrays into
     the function's namespace.
     """
+    started = time.perf_counter()
     body = python_expr(expr, args, params)
     source = f"def {name}({', '.join(args)}):\n    return {body}\n"
     namespace = {"math": math}
@@ -109,6 +147,8 @@ def compile_scalar_fn(expr: N.Expr, args: Sequence[str],
     exec(compile(source, f"<exprgen:{name}>", "exec"), namespace)
     fn = namespace[name]
     fn.__source__ = source
+    COMPILE_COUNTER.scalar += 1
+    COMPILE_COUNTER.seconds += time.perf_counter() - started
     return fn
 
 
@@ -231,6 +271,7 @@ def compile_vector_fn(expr: N.Expr, args: Sequence[str],
     Semantically identical to :func:`compile_scalar_fn` applied lane-wise
     (same float64 arithmetic, same tie rules, same libm transcendentals).
     """
+    started = time.perf_counter()
     body = vector_expr(expr, args, params)
     source = f"def {name}({', '.join(args)}):\n    return {body}\n"
     namespace = _vec_namespace()
@@ -239,6 +280,8 @@ def compile_vector_fn(expr: N.Expr, args: Sequence[str],
     exec(compile(source, f"<exprgen:{name}>", "exec"), namespace)
     fn = namespace[name]
     fn.__source__ = source
+    COMPILE_COUNTER.vector += 1
+    COMPILE_COUNTER.seconds += time.perf_counter() - started
     return fn
 
 

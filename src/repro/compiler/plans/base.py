@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Any, Dict, List
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -27,6 +27,34 @@ OUT = "out"
 #: Input layouts a plan may require (memory restructuring, §4.1.1).
 LAYOUT_INTERLEAVED = "interleaved"    # stream order, AoS
 LAYOUT_RESTRUCTURED = "restructured"  # component-major, SoA
+
+
+@dataclasses.dataclass
+class RestructureCounter:
+    """Process-wide tally of host-side restructuring work.
+
+    ``perm_builds`` counts permutation index arrays actually constructed
+    (the O(n) part a warm run must never repeat); ``perm_hits`` counts
+    memoized reuses; ``gathers`` counts fancy-index applications (one per
+    non-canonical staging, warm or cold).
+    """
+
+    perm_builds: int = 0
+    perm_hits: int = 0
+    gathers: int = 0
+
+    def snapshot(self) -> "RestructureCounter":
+        return dataclasses.replace(self)
+
+    def since(self, earlier: "RestructureCounter") -> "RestructureCounter":
+        return RestructureCounter(self.perm_builds - earlier.perm_builds,
+                                  self.perm_hits - earlier.perm_hits,
+                                  self.gathers - earlier.gathers)
+
+
+RESTRUCTURE_COUNTER = RestructureCounter()
+
+_MISS = object()
 
 
 @dataclasses.dataclass
@@ -52,6 +80,11 @@ class KernelPlan(abc.ABC):
         self.optimizations: List[str] = []
         #: Input layout the plan requires.
         self.input_layout: str = LAYOUT_INTERLEAVED
+        #: Warm-path cache: compiled artifacts (element fns, reducers,
+        #: offsets, restructure permutations) keyed per parameter binding.
+        self._warm_cache: Dict[tuple, Any] = {}
+        #: Arrays pinned so the id()-based keys can never be recycled.
+        self._warm_pins: List[Any] = []
 
     # -- modeling ---------------------------------------------------------
     @abc.abstractmethod
@@ -77,9 +110,79 @@ class KernelPlan(abc.ABC):
     def output_size(self, params: Dict[str, float]) -> int:
         """Number of elements the segment produces."""
 
+    # -- warm-path artifact cache ----------------------------------------
+    def warm_key(self, params) -> tuple:
+        """Hashable identity of a parameter binding for artifact reuse.
+
+        Scalars by value, array-valued entries by ``id()`` — compiled
+        element functions embed auxiliary arrays into their namespaces, so
+        two bindings with equal scalars but different arrays must not share
+        artifacts.  The arrays are pinned (:meth:`cached_artifact`) so ids
+        stay unambiguous for the cache's lifetime.
+        """
+        return (freeze_scalars(params), freeze_arrays(params))
+
+    def cached_artifact(self, tag: str, params, builder: Callable[[], Any]):
+        """Build-once accessor for per-binding compiled artifacts.
+
+        The first call at a given ``(tag, warm_key)`` runs ``builder`` and
+        memoizes its result; later calls return it without recompiling.
+        ``params=None`` (symbolic/cost-only mode) bypasses the cache — a
+        ``None`` binding would collide with an empty concrete one.
+        """
+        if params is None:
+            return builder()
+        key = (tag,) + self.warm_key(params)
+        cached = self._warm_cache.get(key, _MISS)
+        if cached is not _MISS:
+            return cached
+        for name, value in (params or {}).items():
+            if not np.isscalar(value) and value is not None:
+                self._warm_pins.append(value)
+        artifact = builder()
+        self._warm_cache[key] = artifact
+        return artifact
+
+    def clear_warm_cache(self) -> None:
+        """Drop every memoized artifact (cold-start this plan)."""
+        self._warm_cache.clear()
+        self._warm_pins.clear()
+
+    # -- host-side staging -----------------------------------------------
+    def restructure_permutation(self, size: int,
+                                params) -> Optional[np.ndarray]:
+        """Gather indices staging an input into the plan's layout.
+
+        ``None`` means the canonical layout is already correct (no staging
+        work at all).  Subclasses with a non-trivial layout return the
+        index array ``perm`` such that ``staged = data[perm]`` — built once
+        per ``(size, scalar params)`` and memoized by
+        :meth:`restructure_input`.
+        """
+        return None
+
     def restructure_input(self, data: np.ndarray, params) -> np.ndarray:
-        """Host-side staging into the plan's required layout (default: none)."""
-        return np.asarray(data).reshape(-1)
+        """Host-side staging into the plan's required layout.
+
+        Layout changes are expressed as memoized permutation index arrays
+        (:meth:`restructure_permutation`) applied with one fancy-index
+        gather, so a warm run never re-derives the layout arithmetic.
+        """
+        data = np.asarray(data).reshape(-1)
+        key = ("perm", data.size, freeze_scalars(params))
+        perm = self._warm_cache.get(key, _MISS)
+        if perm is _MISS:
+            perm = self.restructure_permutation(data.size, params)
+            if perm is not None:
+                perm = np.ascontiguousarray(perm, dtype=np.intp)
+                RESTRUCTURE_COUNTER.perm_builds += 1
+            self._warm_cache[key] = perm
+        elif perm is not None:
+            RESTRUCTURE_COUNTER.perm_hits += 1
+        if perm is None:
+            return data
+        RESTRUCTURE_COUNTER.gathers += 1
+        return data[perm]
 
     # -- code emission ----------------------------------------------------
     def cuda_source(self) -> str:
@@ -110,6 +213,19 @@ def freeze_scalars(params) -> tuple:
     """
     return tuple(sorted((k, v) for k, v in (params or {}).items()
                         if np.isscalar(v)))
+
+
+def freeze_arrays(params) -> tuple:
+    """Hashable identity projection of the non-scalar parameter entries.
+
+    Complements :func:`freeze_scalars` for caches whose artifacts embed
+    auxiliary arrays (compiled element functions close over them): arrays
+    are keyed by ``id()``, so the cache owner must pin the array objects to
+    keep ids unambiguous.  ``None`` placeholders participate by identity
+    too, which is stable and cheap.
+    """
+    return tuple(sorted((k, id(v)) for k, v in (params or {}).items()
+                        if not np.isscalar(v)))
 
 
 def expr_ops(expr) -> int:

@@ -93,10 +93,9 @@ class GenericActorPlan(KernelPlan):
     def output_size(self, params) -> int:
         return self.shape.invocations(params) * self.shape.push(params)
 
-    def restructure_input(self, data: np.ndarray, params) -> np.ndarray:
-        data = np.asarray(data).reshape(-1)
+    def restructure_permutation(self, size, params):
         if self.layout == LAYOUT_INTERLEAVED:
-            return data
+            return None
         inv = self.shape.invocations(params)
         peek = self.shape.peek(params)
         pop = self.shape.pop(params)
@@ -104,7 +103,7 @@ class GenericActorPlan(KernelPlan):
             raise ValueError(
                 f"{self.name}: cannot restructure with peek({peek}) != "
                 f"pop({pop}) — lookahead windows overlap")
-        return data.reshape(inv, pop).T.reshape(-1)
+        return np.arange(inv * pop).reshape(inv, pop).T.reshape(-1)
 
     # ------------------------------------------------------------------
     def launches(self, params) -> List[PlannedLaunch]:

@@ -98,12 +98,12 @@ class MapPlan(KernelPlan):
     def output_size(self, params) -> int:
         return self.shape.output_size(params)
 
-    def restructure_input(self, data: np.ndarray, params) -> np.ndarray:
+    def restructure_permutation(self, size, params):
         if self.layout == LAYOUT_INTERLEAVED:
-            return np.asarray(data).reshape(-1)
+            return None
         k = self.shape.pops_per_iter
         n = self.shape.iterations(params)
-        return np.asarray(data).reshape(n, k).T.reshape(-1)
+        return np.arange(n * k).reshape(n, k).T.reshape(-1)
 
     # ------------------------------------------------------------------
     def launches(self, params) -> List[PlannedLaunch]:
@@ -136,25 +136,38 @@ class MapPlan(KernelPlan):
         return [PlannedLaunch(self.name, blocks, self.threads, workload)]
 
     # ------------------------------------------------------------------
+    def _compiled_fns(self, params):
+        """Scalar + vector element functions, built once per binding."""
+        def build():
+            arrays = self.arrays_fn(params)
+            k = self.shape.pops_per_iter
+            arg_names = [f"_x{j}" for j in range(k)] + ["_i"]
+            fns = [compile_scalar_fn(o, arg_names, params, name=f"out{idx}",
+                                     arrays=arrays)
+                   for idx, o in enumerate(self.outputs)]
+            vfns = [compile_vector_fn(o, arg_names, params,
+                                      name=f"vout{idx}", arrays=arrays)
+                    for idx, o in enumerate(self.outputs)]
+            gather_fn = vgather = None
+            if self.gather is not None:
+                gather_fn = compile_scalar_fn(self.gather, ["_i"], params,
+                                              name="gather", arrays=arrays)
+                vgather = compile_vector_fn(self.gather, ["_i"], params,
+                                            name="vgather", arrays=arrays)
+            return fns, vfns, gather_fn, vgather
+        return self.cached_artifact("map_fns", params, build)
+
     def execute(self, device: Device, buffers, params) -> DeviceArray:
         iterations = self.shape.iterations(params)
         k = self.shape.pops_per_iter
         m = self.shape.pushes_per_iter
-        arrays = self.arrays_fn(params)
-        arg_names = [f"_x{j}" for j in range(k)] + ["_i"]
-        fns = [compile_scalar_fn(o, arg_names, params, name=f"out{idx}",
-                                 arrays=arrays)
-               for idx, o in enumerate(self.outputs)]
+        fns, vfns, gather_fn, vgather = self._compiled_fns(params)
         out = device.alloc(self.output_size(params), dtype=np.float64,
                            name=f"{self.name}.out")
         inbuf = buffers[IN]
         blocks = self._grid(params)
         total_threads = blocks * self.threads
         restructured = self.layout == LAYOUT_RESTRUCTURED
-        gather_fn = None
-        if self.gather is not None:
-            gather_fn = compile_scalar_fn(self.gather, ["_i"], params,
-                                          name="gather", arrays=arrays)
 
         def body(ctx):
             i = ctx.global_tid
@@ -170,13 +183,6 @@ class MapPlan(KernelPlan):
                     ctx.gstore(out, i * m + idx, fn(*vals, i))
                 i += total_threads
 
-        vfns = [compile_vector_fn(o, arg_names, params, name=f"vout{idx}",
-                                  arrays=arrays)
-                for idx, o in enumerate(self.outputs)]
-        vgather = None
-        if self.gather is not None:
-            vgather = compile_vector_fn(self.gather, ["_i"], params,
-                                        name="vgather", arrays=arrays)
         steps = math.ceil(iterations / total_threads) if iterations else 0
 
         def vector_body(ctx):

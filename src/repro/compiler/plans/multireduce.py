@@ -47,7 +47,12 @@ class HorizontalReducePlan(KernelPlan):
 
     # ------------------------------------------------------------------
     def _reducers(self, params) -> List[Reducer]:
-        return [fn(params) for fn in self.reducer_fns]
+        # One warm-cache entry holds the whole reducer bank: every factory
+        # may compile several element/epilogue functions, so a warm run
+        # must reuse all of them at once.
+        return self.cached_artifact(
+            "reducers", params,
+            lambda: [fn(params) for fn in self.reducer_fns])
 
     def output_size(self, params) -> int:
         reducers = self._reducers(params)
@@ -395,6 +400,11 @@ class SeparateReducePlan(KernelPlan):
         self._narrays = narrays
         self.strategy = "hreduce.separate_kernels"
         self.optimizations = ["actor_segmentation"]
+
+    def clear_warm_cache(self) -> None:
+        super().clear_warm_cache()
+        for plan in self.branch_plans:
+            plan.clear_warm_cache()
 
     def launches(self, params) -> List[PlannedLaunch]:
         out: List[PlannedLaunch] = []

@@ -23,14 +23,14 @@ compares with ``narrays``; together with horizontal thread integration
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ...gpu import SYNC, Device, DeviceArray, GPUSpec, Kernel
 from ...perfmodel import KernelWorkload
 from ..reducers import Reducer
-from .base import IN, KernelPlan, PlannedLaunch
+from .base import IN, KernelPlan, PlannedLaunch, freeze_scalars
 
 #: Input layouts understood by reduction plans.
 LAYOUT_ROWS = "rows"            # canonical: array r contiguous, iterations AoS
@@ -39,19 +39,34 @@ LAYOUT_TRANSPOSED = "transposed"  # element-major across arrays
 
 
 class ReduceShape:
-    """Segment geometry: how many arrays, how long each one is."""
+    """Segment geometry: how many arrays, how long each one is.
+
+    Both counts come from rate expressions whose evaluation is pure in
+    the scalar params, so they are memoized per frozen-scalar binding —
+    the warm serving path asks for them on every run.
+    """
 
     def __init__(self, narrays: Callable[[Dict], int],
                  nelements: Callable[[Dict], int], pops_per_iter: int):
         self._narrays = narrays
         self._nelements = nelements
         self.pops_per_iter = pops_per_iter
+        self._memo: Dict[tuple, Tuple[int, int]] = {}
+
+    def _counts(self, params) -> Tuple[int, int]:
+        key = freeze_scalars(params)
+        counts = self._memo.get(key)
+        if counts is None:
+            counts = (int(self._narrays(params)),
+                      int(self._nelements(params)))
+            self._memo[key] = counts
+        return counts
 
     def narrays(self, params) -> int:
-        return int(self._narrays(params))
+        return self._counts(params)[0]
 
     def nelements(self, params) -> int:
-        return int(self._nelements(params))
+        return self._counts(params)[1]
 
     def input_size(self, params) -> int:
         return (self.narrays(params) * self.nelements(params)
@@ -108,12 +123,27 @@ class _ReducePlanBase(KernelPlan):
         self.threads = threads
         self.input_layout = layout
 
+    def _reducer(self, params):
+        """Reducer for this binding, compiled once and reused warm.
+
+        ``reducer_fn`` may compile several element/epilogue functions per
+        call (e.g. :class:`~repro.compiler.reducers.ScalarReducer`); the
+        per-plan artifact cache keys on scalars *and* auxiliary-array
+        identity, so bindings that carry different const arrays never share
+        a reducer.
+        """
+        return self.cached_artifact("reducer", params,
+                                    lambda: self.reducer_fn(params))
+
     def output_size(self, params) -> int:
-        reducer = self.reducer_fn(params)
+        reducer = self._reducer(params)
         return self.shape.narrays(params) * reducer.outputs_per_array
 
-    def restructure_input(self, data: np.ndarray, params) -> np.ndarray:
-        return restructure_host(data, self.layout, self.shape, params)
+    def restructure_permutation(self, size, params):
+        if self.layout == LAYOUT_ROWS:
+            return None
+        return restructure_host(np.arange(size), self.layout, self.shape,
+                                params)
 
     # -- workload helpers -------------------------------------------------
     def _mem_split(self, requests: float):
@@ -151,7 +181,7 @@ class ReduceSingleKernelPlan(_ReducePlanBase):
         narrays = self.shape.narrays(params)
         length = self.shape.nelements(params)
         k = self.shape.pops_per_iter
-        reducer = self.reducer_fn(params)
+        reducer = self._reducer(params)
         blocks = max(1, math.ceil(narrays / self.rows_per_block))
         iters_per_thread = math.ceil(length / self.threads)
         requests = iters_per_thread * k * self.rows_per_block
@@ -176,7 +206,7 @@ class ReduceSingleKernelPlan(_ReducePlanBase):
         narrays = self.shape.narrays(params)
         length = self.shape.nelements(params)
         k = self.shape.pops_per_iter
-        reducer = self.reducer_fn(params)
+        reducer = self._reducer(params)
         addr = _index_fn(self.layout, self.shape, params)
         out = device.alloc(self.output_size(params), dtype=np.float64,
                            name=f"{self.name}.out")
@@ -320,7 +350,7 @@ class ReduceTwoKernelPlan(_ReducePlanBase):
         narrays = self.shape.narrays(params)
         length = self.shape.nelements(params)
         k = self.shape.pops_per_iter
-        reducer = self.reducer_fn(params)
+        reducer = self._reducer(params)
         nblocks = self.initial_blocks(params)
         chunk = math.ceil(length / nblocks)
         iters_per_thread = math.ceil(chunk / self.threads)
@@ -358,7 +388,7 @@ class ReduceTwoKernelPlan(_ReducePlanBase):
         narrays = self.shape.narrays(params)
         length = self.shape.nelements(params)
         k = self.shape.pops_per_iter
-        reducer = self.reducer_fn(params)
+        reducer = self._reducer(params)
         addr = _index_fn(self.layout, self.shape, params)
         nblocks = self.initial_blocks(params)
         chunk = math.ceil(length / nblocks)
@@ -538,7 +568,7 @@ class ReduceThreadPerArrayPlan(_ReducePlanBase):
         narrays = self.shape.narrays(params)
         length = self.shape.nelements(params)
         k = self.shape.pops_per_iter
-        reducer = self.reducer_fn(params)
+        reducer = self._reducer(params)
         blocks = max(1, math.ceil(narrays / self.threads))
         requests = length * k
         if self.layout == LAYOUT_TRANSPOSED:
@@ -558,7 +588,7 @@ class ReduceThreadPerArrayPlan(_ReducePlanBase):
         narrays = self.shape.narrays(params)
         length = self.shape.nelements(params)
         k = self.shape.pops_per_iter
-        reducer = self.reducer_fn(params)
+        reducer = self._reducer(params)
         addr = _index_fn(self.layout, self.shape, params)
         out = device.alloc(self.output_size(params), dtype=np.float64,
                            name=f"{self.name}.out")

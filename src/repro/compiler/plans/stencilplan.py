@@ -56,6 +56,19 @@ def linear_offsets(pattern: StencilPattern,
     return disps
 
 
+def _decompose(disps: List[int], width: int) -> List[Tuple[int, int]]:
+    pairs = []
+    for d in disps:
+        dy = int(round(d / width)) if width > 0 else 0
+        dx = d - dy * width
+        if abs(dx) >= width and width > 1:
+            raise ValueError(
+                f"stencil displacement {d} does not decompose on width "
+                f"{width}")
+        pairs.append((dy, dx))
+    return pairs
+
+
 def decompose_offsets(pattern: StencilPattern,
                       params: Dict[str, float],
                       width: int) -> List[Tuple[int, int]]:
@@ -65,16 +78,7 @@ def decompose_offsets(pattern: StencilPattern,
     neighbors would wrap across row boundaries (linear offset semantics
     agree with 2-D semantics exactly on guarded-interior cells).
     """
-    pairs = []
-    for d in linear_offsets(pattern, params):
-        dy = int(round(d / width)) if width > 0 else 0
-        dx = d - dy * width
-        if abs(dx) >= width and width > 1:
-            raise ValueError(
-                f"stencil displacement {d} does not decompose on width "
-                f"{width}")
-        pairs.append((dy, dx))
-    return pairs
+    return _decompose(linear_offsets(pattern, params), width)
 
 
 def reuse_metric(tile_w: int, tile_h: int, halo_x: int, halo_y: int,
@@ -99,34 +103,50 @@ class _StencilPlanBase(KernelPlan):
         return self.shape.size(params)
 
     def _fns(self, params):
-        noff = len(self.pattern.offsets)
-        args = [f"_p{k}" for k in range(noff)] + ["_i"]
-        compute = compile_scalar_fn(self.pattern.compute, args, params,
-                                    name="compute")
-        guard = None
-        if self.pattern.guard is not None:
-            guard = compile_scalar_fn(self.pattern.guard, ["_i"], params,
-                                      name="guard")
-        fallback = None
-        if self.pattern.guard_else is not None:
-            fallback = compile_scalar_fn(self.pattern.guard_else, args,
-                                         params, name="fallback")
-        return compute, guard, fallback
+        def build():
+            noff = len(self.pattern.offsets)
+            args = [f"_p{k}" for k in range(noff)] + ["_i"]
+            compute = compile_scalar_fn(self.pattern.compute, args, params,
+                                        name="compute")
+            guard = None
+            if self.pattern.guard is not None:
+                guard = compile_scalar_fn(self.pattern.guard, ["_i"], params,
+                                          name="guard")
+            fallback = None
+            if self.pattern.guard_else is not None:
+                fallback = compile_scalar_fn(self.pattern.guard_else, args,
+                                             params, name="fallback")
+            return compute, guard, fallback
+        return self.cached_artifact("stencil_fns", params, build)
 
     def _vfns(self, params):
-        noff = len(self.pattern.offsets)
-        args = [f"_p{k}" for k in range(noff)] + ["_i"]
-        vcompute = compile_vector_fn(self.pattern.compute, args, params,
-                                     name="vcompute")
-        vguard = None
-        if self.pattern.guard is not None:
-            vguard = compile_vector_fn(self.pattern.guard, ["_i"], params,
-                                       name="vguard")
-        vfallback = None
-        if self.pattern.guard_else is not None:
-            vfallback = compile_vector_fn(self.pattern.guard_else, args,
-                                          params, name="vfallback")
-        return vcompute, vguard, vfallback
+        def build():
+            noff = len(self.pattern.offsets)
+            args = [f"_p{k}" for k in range(noff)] + ["_i"]
+            vcompute = compile_vector_fn(self.pattern.compute, args, params,
+                                         name="vcompute")
+            vguard = None
+            if self.pattern.guard is not None:
+                vguard = compile_vector_fn(self.pattern.guard, ["_i"],
+                                           params, name="vguard")
+            vfallback = None
+            if self.pattern.guard_else is not None:
+                vfallback = compile_vector_fn(self.pattern.guard_else, args,
+                                              params, name="vfallback")
+            return vcompute, vguard, vfallback
+        return self.cached_artifact("stencil_vfns", params, build)
+
+    def _linear_offsets(self, params) -> List[int]:
+        """Displacements for this binding; the per-offset compiled
+        evaluator functions are built once and reused warm."""
+        return self.cached_artifact(
+            "offsets", params, lambda: linear_offsets(self.pattern, params))
+
+    def _decomposed_offsets(self, params) -> List[Tuple[int, int]]:
+        def build():
+            width = max(1, self.shape.width(params))
+            return _decompose(self._linear_offsets(params), width)
+        return self.cached_artifact("pairs", params, build)
 
     def _compute_ops(self) -> int:
         return expr_ops(self.pattern.compute) + 4
@@ -156,7 +176,7 @@ class NaiveStencilPlan(_StencilPlanBase):
         width = self.shape.width(params)
         height = self.shape.height(params)
         size = width * height
-        disps = linear_offsets(self.pattern, params)
+        disps = self._linear_offsets(params)
         compute, guard, fallback = self._fns(params)
         out = device.alloc(size, dtype=np.float64, name=f"{self.name}.out")
         inbuf = buffers[IN]
@@ -237,8 +257,7 @@ class TiledStencilPlan(_StencilPlanBase):
 
     # ------------------------------------------------------------------
     def halo(self, params) -> Tuple[int, int]:
-        width = max(1, self.shape.width(params))
-        pairs = decompose_offsets(self.pattern, params, width)
+        pairs = self._decomposed_offsets(params)
         hx = max((abs(dx) for _dy, dx in pairs), default=0)
         hy = max((abs(dy) for dy, _dx in pairs), default=0)
         return hx, hy
@@ -313,7 +332,7 @@ class TiledStencilPlan(_StencilPlanBase):
         width = self.shape.width(params)
         height = self.shape.height(params)
         size = width * height
-        pairs = decompose_offsets(self.pattern, params, width)
+        pairs = self._decomposed_offsets(params)
         compute, guard, fallback = self._fns(params)
         tw, th = self.choose_tile(params)
         hx, hy = self.halo(params)

@@ -24,15 +24,19 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+import threading
 import time
-from typing import Dict, List, Optional
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..gpu import Device, EXEC_MODES, GPUSpec, PCIE_BANDWIDTH_GBPS
+from ..gpu import Device, EXEC_MODES, GPUSpec, MODE_REFERENCE, \
+    PCIE_BANDWIDTH_GBPS
 from ..perfmodel import PerformanceModel, Variant, geometric_points, \
     sweep_axis
-from .plans.base import IN, KernelPlan, freeze_scalars
+from .exprgen import COMPILE_COUNTER
+from .plans.base import IN, KernelPlan, RESTRUCTURE_COUNTER, freeze_scalars
 from .segments import Segment, SegmentDispatch
 from .stats import CostCache, SelectionStats
 
@@ -59,6 +63,11 @@ class RunResult:
     selections: List[SegmentExecution]
     predicted_kernel_seconds: float
     transfer_seconds: float
+    #: Measured wall-clock per pipeline stage of this run:
+    #: ``select`` / ``restructure`` / ``h2d`` / ``kernel`` / ``d2h`` /
+    #: ``compile``.  The kernel stage excludes compile time so a warm run
+    #: is directly comparable to a cold one.
+    stage_seconds: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     @property
     def predicted_total_seconds(self) -> float:
@@ -83,6 +92,18 @@ class CompiledProgram:
         self.options = options
         #: Memoized cost layer + observability counters (repro.compiler.stats).
         self.cost = CostCache(model)
+        #: Element type used on the PCIe wire for program inputs/outputs.
+        #: Both the transfer-time model and ``run()``'s input staging cast
+        #: to this dtype, so predicted and measured transfers agree.
+        self.wire_dtype = np.dtype(np.float64)
+        #: Per-exec-mode devices owned by this program (used when ``run()``
+        #: is called without an explicit device) so the buffer arena stays
+        #: warm across calls.
+        self._run_devices: Dict[str, Device] = {}
+        self._device_lock = threading.Lock()
+        #: Memoized transfer model per frozen-scalar binding (the size
+        #: expressions it evaluates are pure in the scalars).
+        self._transfer_memo: Dict[tuple, float] = {}
 
     @property
     def stats(self) -> SelectionStats:
@@ -158,14 +179,138 @@ class CompiledProgram:
         return total
 
     def transfer_seconds(self, params: Dict[str, float]) -> float:
-        """H2D of the program input + D2H of the output (float32 on wire)."""
-        n_in = self.segments[0].input_size(params)
-        n_out = self.segments[-1].output_size(params)
-        return (n_in + n_out) * 4 / (PCIE_BANDWIDTH_GBPS * 1e9) + 2e-5
+        """H2D of the program input + D2H of the output.
+
+        Sized by :attr:`wire_dtype` — the same dtype ``run()`` stages
+        inputs in — so the model and the recorded transfers count the
+        same bytes.  Memoized per frozen-scalar binding; the warm path
+        queries it every run.
+        """
+        key = freeze_scalars(params)
+        seconds = self._transfer_memo.get(key)
+        if seconds is None:
+            n_in = self.segments[0].input_size(params)
+            n_out = self.segments[-1].output_size(params)
+            nbytes = (n_in + n_out) * self.wire_dtype.itemsize
+            seconds = nbytes / (PCIE_BANDWIDTH_GBPS * 1e9) + 2e-5
+            self._transfer_memo[key] = seconds
+        return seconds
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _resolve_device(self, device: Optional[Device],
+                        exec_mode: Optional[str]) -> Device:
+        """The device to run on; owned per exec mode when none is passed.
+
+        Owned devices persist across ``run()`` calls so their buffer
+        arenas stay warm — the second run at a shape recycles the first
+        run's allocations instead of making fresh ones.
+        """
+        if exec_mode is not None and exec_mode not in EXEC_MODES:
+            raise ValueError(f"unknown exec_mode {exec_mode!r}; "
+                             f"expected one of {EXEC_MODES}")
+        if device is not None:
+            if exec_mode is not None:
+                device.exec_mode = exec_mode
+            return device
+        mode = exec_mode or MODE_REFERENCE
+        with self._device_lock:
+            owned = self._run_devices.get(mode)
+            if owned is None:
+                owned = Device(self.spec, exec_mode=mode)
+                self._run_devices[mode] = owned
+        return owned
+
+    def _validate_input(self, host_input: np.ndarray,
+                        params: Dict[str, float]) -> np.ndarray:
+        host_input = np.asarray(host_input,
+                                dtype=self.wire_dtype).reshape(-1)
+        if self.program.input_size is not None:
+            expected = self.program.input_size.evaluate(params)
+        else:
+            expected = self.segments[0].input_size(params)
+        if len(host_input) != expected:
+            raise ValueError(
+                f"program expects {expected} input elements for these "
+                f"parameters, got {len(host_input)}")
+        return host_input
+
+    def _execute_plans(self, host_input: np.ndarray,
+                       params: Dict[str, float],
+                       plans: List[KernelPlan], device: Device,
+                       input_on_host: bool,
+                       plan_costs: Optional[Dict[int, float]] = None,
+                       compile_before=None, restructure_before=None
+                       ) -> Tuple[RunResult, SelectionStats]:
+        """Run one selected plan chain; returns (result, stats delta).
+
+        Stats are returned as a delta rather than applied to
+        :attr:`stats` so ``run_many`` workers never race on the shared
+        counters; single runs merge the delta immediately.  ``plan_costs``
+        (``id(plan) -> seconds``) lets the batched runner reuse one cost
+        lookup per selection instead of querying the (unsynchronized)
+        cost cache from worker threads.  ``compile_before`` /
+        ``restructure_before`` widen the counter-attribution window (the
+        single-run path opens it before selection, whose cost-model
+        queries may compile the winning plan's functions).
+        """
+        stage = {"select": 0.0, "restructure": 0.0, "h2d": 0.0,
+                 "kernel": 0.0, "d2h": 0.0, "compile": 0.0}
+        if compile_before is None:
+            compile_before = COMPILE_COUNTER.snapshot()
+        if restructure_before is None:
+            restructure_before = RESTRUCTURE_COUNTER.snapshot()
+        exec_compile_before = COMPILE_COUNTER.snapshot()
+        selections: List[SegmentExecution] = []
+        predicted = 0.0
+        with device.scope():
+            buf = None
+            for index, (segment, plan) in enumerate(
+                    zip(self.segments, plans)):
+                if index == 0:
+                    staged = host_input
+                    if input_on_host:
+                        t = time.perf_counter()
+                        staged = plan.restructure_input(host_input, params)
+                        stage["restructure"] = time.perf_counter() - t
+                    t = time.perf_counter()
+                    buf = device.to_device(staged, name=f"{segment.name}.in")
+                    stage["h2d"] = time.perf_counter() - t
+                if plan_costs is not None:
+                    seconds = plan_costs[id(plan)]
+                else:
+                    seconds = self.cost.plan_seconds(plan, params)
+                predicted += seconds
+                t = time.perf_counter()
+                buf = plan.execute(device, {IN: buf}, params)
+                stage["kernel"] += time.perf_counter() - t
+                selections.append(SegmentExecution(
+                    segment=segment.name, kind=segment.kind,
+                    strategy=plan.strategy, predicted_seconds=seconds,
+                    optimizations=list(plan.optimizations)))
+            t = time.perf_counter()
+            output = device.to_host(buf)
+            stage["d2h"] = time.perf_counter() - t
+        compiled = COMPILE_COUNTER.since(compile_before)
+        in_execute = COMPILE_COUNTER.since(exec_compile_before)
+        rebuilt = RESTRUCTURE_COUNTER.since(restructure_before)
+        stage["compile"] = compiled.seconds
+        # Only compiles that ran inside plan.execute inflate the kernel
+        # wall-clock; selection-triggered ones were spent before it.
+        stage["kernel"] = max(0.0, stage["kernel"] - in_execute.seconds)
+        delta = SelectionStats(
+            runs=1, expr_compiles=compiled.total,
+            restructure_builds=rebuilt.perm_builds,
+            restructure_seconds=stage["restructure"],
+            h2d_seconds=stage["h2d"], kernel_seconds=stage["kernel"],
+            d2h_seconds=stage["d2h"], compile_seconds=stage["compile"])
+        result = RunResult(output=output, selections=selections,
+                           predicted_kernel_seconds=predicted,
+                           transfer_seconds=self.transfer_seconds(params),
+                           stage_seconds=stage)
+        return result, delta
+
     def run(self, host_input: np.ndarray, params: Dict[str, float],
             device: Optional[Device] = None,
             force: Optional[Dict[str, str]] = None,
@@ -179,50 +324,160 @@ class CompiledProgram:
 
         ``exec_mode`` selects the executor path (``"reference"`` or
         ``"vectorized"``); it overrides the mode of a passed-in ``device``
-        and otherwise configures the one created here.  Both paths produce
-        bit-identical outputs — vectorized is a fast path for kernels that
-        carry a vector body, never a semantics change.
+        and otherwise selects a program-owned persistent device.  Both
+        paths produce bit-identical outputs — vectorized is a fast path
+        for kernels that carry a vector body, never a semantics change.
+
+        Repeat runs at the same scalar parameters are the warm path: the
+        selected plans serve compiled kernels and restructure
+        permutations from their warm caches (zero compilations, zero
+        permutation rebuilds) and, when no explicit ``device`` is passed,
+        recycle device buffers through the owned device's arena.  Stage
+        wall-clocks land on :attr:`RunResult.stage_seconds` and aggregate
+        into :attr:`stats`.
         """
-        if exec_mode is not None and exec_mode not in EXEC_MODES:
-            raise ValueError(f"unknown exec_mode {exec_mode!r}; "
-                             f"expected one of {EXEC_MODES}")
-        if device is None:
-            device = Device(self.spec,
-                            **({"exec_mode": exec_mode} if exec_mode else {}))
-        elif exec_mode is not None:
-            device.exec_mode = exec_mode
+        device = self._resolve_device(device, exec_mode)
         params = dict(params)
-        host_input = np.asarray(host_input, dtype=np.float64).reshape(-1)
+        host_input = self._validate_input(host_input, params)
+        compile_before = COMPILE_COUNTER.snapshot()
+        restructure_before = RESTRUCTURE_COUNTER.snapshot()
+        started = time.perf_counter()
+        plans = self.select(params, force, input_on_host=input_on_host)
+        select_seconds = time.perf_counter() - started
+        result, delta = self._execute_plans(
+            host_input, params, plans, device, input_on_host,
+            compile_before=compile_before,
+            restructure_before=restructure_before)
+        result.stage_seconds["select"] = select_seconds
+        self.stats.merge(delta)
+        return result
+
+    def warmup(self, params: Dict[str, float],
+               force: Optional[Dict[str, str]] = None,
+               input_on_host: bool = True,
+               exec_mode: Optional[str] = None) -> RunResult:
+        """Prime every warm cache for one parameter binding.
+
+        Runs the program once on a zero input of the expected size:
+        selection is decided (and memoized), per-plan kernels are
+        compiled into the warm caches, restructure permutations are
+        built, and the owned device's arena is stocked.  The next
+        ``run()`` at these scalars is a pure warm path.
+        """
+        params = dict(params)
         if self.program.input_size is not None:
             expected = self.program.input_size.evaluate(params)
         else:
             expected = self.segments[0].input_size(params)
-        if len(host_input) != expected:
-            raise ValueError(
-                f"program expects {expected} input elements for these "
-                f"parameters, got {len(host_input)}")
+        zeros = np.zeros(int(expected), dtype=self.wire_dtype)
+        return self.run(zeros, params, force=force,
+                        input_on_host=input_on_host, exec_mode=exec_mode)
 
-        plans = self.select(params, force, input_on_host=input_on_host)
-        selections: List[SegmentExecution] = []
-        predicted = 0.0
-        buf = None
-        for index, (segment, plan) in enumerate(zip(self.segments, plans)):
-            if index == 0:
-                staged = host_input
-                if input_on_host and hasattr(plan, "restructure_input"):
-                    staged = plan.restructure_input(host_input, params)
-                buf = device.to_device(staged, name=f"{segment.name}.in")
-            seconds = self.cost.plan_seconds(plan, params)
-            predicted += seconds
-            buf = plan.execute(device, {IN: buf}, params)
-            selections.append(SegmentExecution(
-                segment=segment.name, kind=segment.kind,
-                strategy=plan.strategy, predicted_seconds=seconds,
-                optimizations=list(plan.optimizations)))
-        output = device.to_host(buf)
-        return RunResult(output=output, selections=selections,
-                         predicted_kernel_seconds=predicted,
-                         transfer_seconds=self.transfer_seconds(params))
+    def run_many(self, inputs: Sequence[np.ndarray],
+                 params_list: Union[Dict[str, float],
+                                    Sequence[Dict[str, float]]],
+                 workers: int = 1,
+                 force: Optional[Dict[str, str]] = None,
+                 input_on_host: bool = True,
+                 exec_mode: Optional[str] = None,
+                 warm: bool = True) -> List[RunResult]:
+        """Serve a batch of inputs through one shared warm path.
+
+        ``params_list`` is either one params dict broadcast over the
+        batch or one dict per input.  Selection happens once per distinct
+        scalar binding; with ``warm=True`` (default) each distinct
+        binding is warmed up front, so worker threads never compile and
+        never rebuild permutations.  ``workers > 1`` fans the batch out
+        over a thread pool with one device per worker (arenas are not
+        thread-safe); per-run counters are merged into :attr:`stats`
+        after the workers join.
+        """
+        inputs = list(inputs)
+        if isinstance(params_list, dict):
+            params_list = [params_list] * len(inputs)
+        params_list = [dict(p) for p in params_list]
+        if len(params_list) != len(inputs):
+            raise ValueError(
+                f"run_many got {len(inputs)} inputs but "
+                f"{len(params_list)} params")
+
+        # One selection (and optional warmup) per distinct scalar binding,
+        # shared by every batch item at that binding.
+        selections: Dict[tuple, List[KernelPlan]] = {}
+        plan_costs: Dict[tuple, Dict[int, float]] = {}
+        for params in params_list:
+            key = freeze_scalars(params)
+            if key in selections:
+                continue
+            if warm:
+                self.warmup(params, force=force,
+                            input_on_host=input_on_host,
+                            exec_mode=exec_mode)
+            plans = self.select(params, force, input_on_host=input_on_host)
+            selections[key] = plans
+            plan_costs[key] = {id(plan): self.cost.plan_seconds(plan, params)
+                               for plan in plans}
+
+        local = threading.local()
+
+        def worker_device() -> Device:
+            device = getattr(local, "device", None)
+            if device is None:
+                device = Device(
+                    self.spec,
+                    exec_mode=exec_mode if exec_mode else MODE_REFERENCE)
+                local.device = device
+            return device
+
+        def job(index: int) -> Tuple[int, RunResult, SelectionStats]:
+            params = params_list[index]
+            key = freeze_scalars(params)
+            host_input = self._validate_input(inputs[index], params)
+            if workers <= 1:
+                device = self._resolve_device(None, exec_mode)
+            else:
+                device = worker_device()
+            result, delta = self._execute_plans(
+                host_input, params, selections[key], device,
+                input_on_host, plan_costs[key])
+            result.stage_seconds["select"] = 0.0
+            return index, result, delta
+
+        results: List[Optional[RunResult]] = [None] * len(inputs)
+        deltas: List[SelectionStats] = []
+        if workers <= 1:
+            for index in range(len(inputs)):
+                _, result, delta = job(index)
+                results[index] = result
+                deltas.append(delta)
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                for index, result, delta in pool.map(job,
+                                                     range(len(inputs))):
+                    results[index] = result
+                    deltas.append(delta)
+        for delta in deltas:
+            self.stats.merge(delta)
+        return results
+
+    def clear_warm_caches(self) -> None:
+        """Cold-start the serving layer.
+
+        Drops every plan's compiled-kernel artifacts and restructure
+        permutations, empties the owned devices' buffer arenas, and
+        clears the memoized cost layer (model-argmin selections are
+        runtime work the paper charges to the initial transfer, so a
+        cold start re-evaluates them).  Baked dispatch tables survive —
+        they are compile-time products, not run-time warm state.
+        """
+        for segment in self.segments:
+            for plan in segment.plans:
+                plan.clear_warm_cache()
+        self.cost.clear()
+        self._transfer_memo.clear()
+        with self._device_lock:
+            for device in self._run_devices.values():
+                device.arena.clear()
 
     # ------------------------------------------------------------------
     # Compile-time analyses / reporting

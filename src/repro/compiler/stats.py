@@ -41,6 +41,20 @@ class SelectionStats:
     select_calls: int = 0
     #: Accumulated wall-clock spent inside ``select()``.
     select_seconds: float = 0.0
+    #: Number of completed ``run()`` executions.
+    runs: int = 0
+    #: Expression compilations performed inside ``run()`` (0 when warm).
+    expr_compiles: int = 0
+    #: Restructure permutation arrays built inside ``run()`` (0 when warm).
+    restructure_builds: int = 0
+    #: Per-stage wall-clock accumulated over ``run()`` executions.  The
+    #: kernel stage excludes compile time (reported separately), so the
+    #: warm/cold split is directly visible in the aggregates.
+    restructure_seconds: float = 0.0
+    h2d_seconds: float = 0.0
+    kernel_seconds: float = 0.0
+    d2h_seconds: float = 0.0
+    compile_seconds: float = 0.0
 
     @property
     def runtime_evals(self) -> int:
@@ -53,6 +67,22 @@ class SelectionStats:
 
     def snapshot(self) -> "SelectionStats":
         return dataclasses.replace(self)
+
+    def reset(self) -> None:
+        """Zero every counter (e.g. between ``run_many`` batches)."""
+        for f in dataclasses.fields(self):
+            setattr(self, f.name, f.default)
+
+    def merge(self, other: "SelectionStats") -> None:
+        """Field-wise accumulate ``other`` into this instance.
+
+        The batched runner defers per-run counter updates until workers
+        join (worker threads must not race on shared ints), then merges
+        the per-run deltas here.
+        """
+        for f in dataclasses.fields(self):
+            setattr(self, f.name,
+                    getattr(self, f.name) + getattr(other, f.name))
 
     def since(self, earlier: "SelectionStats") -> "SelectionStats":
         """Counter deltas accumulated after ``earlier`` was snapshotted."""
@@ -68,7 +98,21 @@ class SelectionStats:
                 f" table_hits={self.table_hits}"
                 f" fallbacks={self.table_fallbacks}"
                 f" selects={self.select_calls}"
-                f" select_wall={self.select_seconds * 1e6:.0f}us")
+                f" select_wall={self.select_seconds * 1e6:.0f}us"
+                f" runs={self.runs}"
+                f" run_compiles={self.expr_compiles}"
+                f" perm_builds={self.restructure_builds}")
+
+    def stage_summary(self) -> str:
+        """One-line per-stage wall-clock aggregate over all runs."""
+        stages = [("select", self.select_seconds),
+                  ("restructure", self.restructure_seconds),
+                  ("h2d", self.h2d_seconds),
+                  ("kernel", self.kernel_seconds),
+                  ("d2h", self.d2h_seconds),
+                  ("compile", self.compile_seconds)]
+        return " ".join(f"{name}={seconds * 1e6:.0f}us"
+                        for name, seconds in stages)
 
 
 class CostCache:
@@ -90,6 +134,17 @@ class CostCache:
 
     def __len__(self) -> int:
         return len(self._costs)
+
+    def clear(self) -> None:
+        """Drop every memoized cost (stats survive).
+
+        The memo is runtime warm state — model-argmin selections lazily
+        populate it — so the serving layer's cold-start path clears it
+        along with the plan warm caches.  Later queries simply
+        re-evaluate the analytic model.
+        """
+        self._costs.clear()
+        self._plans.clear()
 
     @contextlib.contextmanager
     def compile_scope(self):

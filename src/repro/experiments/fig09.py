@@ -130,6 +130,8 @@ def functional_check(name: str = "sdot", n: int = 4096,
     runs.  This spot check pushes a real input through the compiled
     program under the reference coroutine interpreter and under the
     vectorized block executor and demands bit-identical output buffers.
+    Each mode then runs a second, warm time (cached kernels, recycled
+    buffers) and must reproduce the cold output bit for bit.
     Returns the (shared) output array.
     """
     if name not in ("isamax", "snrm2", "sasum", "sdot"):
@@ -144,6 +146,9 @@ def functional_check(name: str = "sdot", n: int = 4096,
         DeviceArray.reset_base_allocator()
         outputs[mode] = np.asarray(
             compiled.run(data, params, exec_mode=mode).output)
+        warm = np.asarray(compiled.run(data, params, exec_mode=mode).output)
+        if warm.tobytes() != outputs[mode].tobytes():
+            raise AssertionError(f"{name}: warm {mode} run diverged")
     ref, vec = outputs[MODE_REFERENCE], outputs[MODE_VECTORIZED]
     if ref.tobytes() != vec.tobytes():
         raise AssertionError(f"{name}: executor modes disagree")

@@ -67,7 +67,9 @@ def functional_check(rows: int = 48, cols: int = 160,
     Pushes a real matrix through the compiled program under the
     reference coroutine interpreter and under the vectorized block
     executor and demands bit-identical output buffers, so the kernels
-    the sweep ranks are known to agree however they are executed.
+    the sweep ranks are known to agree however they are executed.  Each
+    mode then runs a second, warm time (cached kernels and permutation,
+    recycled buffers) and must reproduce the cold output bit for bit.
     Returns the (shared) output array.
     """
     rng = np.random.default_rng(seed)
@@ -78,6 +80,11 @@ def functional_check(rows: int = 48, cols: int = 160,
         DeviceArray.reset_base_allocator()
         outputs[mode] = np.asarray(
             compiled.run(matrix, params, exec_mode=mode).output)
+        warm = np.asarray(
+            compiled.run(matrix, params, exec_mode=mode).output)
+        if warm.tobytes() != outputs[mode].tobytes():
+            raise AssertionError(
+                f"tmv {rows}x{cols}: warm {mode} run diverged")
     ref, vec = outputs[MODE_REFERENCE], outputs[MODE_VECTORIZED]
     if ref.tobytes() != vec.tobytes():
         raise AssertionError(f"tmv {rows}x{cols}: executor modes disagree")

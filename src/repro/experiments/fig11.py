@@ -103,7 +103,9 @@ def functional_check(n: int = 96, spec: GPUSpec = TESLA_C2050,
     constant that the model drivers never materialize on the host.  Each
     remaining step runs end to end under the reference coroutine
     interpreter and under the vectorized block executor; the two output
-    buffers must be bit-identical.  Returns the step names checked.
+    buffers must be bit-identical, and a second, warm run per mode
+    (cached kernels, recycled buffers) must reproduce the cold one.
+    Returns the step names checked.
     """
     rng = np.random.default_rng(seed)
     compiler = AdapticCompiler(spec)
@@ -121,6 +123,10 @@ def functional_check(n: int = 96, spec: GPUSpec = TESLA_C2050,
             DeviceArray.reset_base_allocator()
             outputs[mode] = np.asarray(
                 compiled.run(data, params, exec_mode=mode).output)
+            warm = np.asarray(
+                compiled.run(data, params, exec_mode=mode).output)
+            if warm.tobytes() != outputs[mode].tobytes():
+                mismatches.append(f"{step.name} (warm {mode})")
         if (outputs[MODE_REFERENCE].tobytes()
                 != outputs[MODE_VECTORIZED].tobytes()):
             mismatches.append(step.name)

@@ -15,7 +15,7 @@ from .executor import (BarrierDivergenceError, Executor, LaunchError,
                        LaunchStats)
 from .kernel import (SYNC, AmbiguousKernelBodyError, Dim3, Kernel,
                      LaunchConfig, ThreadCtx, kernel_uses_barriers)
-from .memory import (BANK_WORD_BYTES, DeviceArray, MemoryTracer,
+from .memory import (BANK_WORD_BYTES, BufferArena, DeviceArray, MemoryTracer,
                      SharedMemory, bank_conflict_cycles,
                      bank_conflict_degree, coalesce_transactions)
 from .vectorized import (EXEC_MODES, MODE_REFERENCE, MODE_VECTORIZED,
@@ -28,7 +28,7 @@ __all__ = [
     "Executor", "LaunchError", "LaunchStats", "BarrierDivergenceError",
     "Kernel", "LaunchConfig", "ThreadCtx", "Dim3", "SYNC",
     "AmbiguousKernelBodyError", "kernel_uses_barriers",
-    "DeviceArray", "SharedMemory", "MemoryTracer",
+    "DeviceArray", "BufferArena", "SharedMemory", "MemoryTracer",
     "coalesce_transactions", "bank_conflict_degree",
     "bank_conflict_cycles", "BANK_WORD_BYTES",
     "EXEC_MODES", "MODE_REFERENCE", "MODE_VECTORIZED",

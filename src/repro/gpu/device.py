@@ -6,15 +6,16 @@ out (with PCIe transfer-time accounting), and launch kernels functionally.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from .arch import GPUSpec, TESLA_C2050
 from .executor import Executor, LaunchStats
 from .kernel import Kernel, LaunchConfig
-from .memory import DeviceArray
+from .memory import BufferArena, DeviceArray
 from .vectorized import MODE_REFERENCE
 
 #: Host-device link bandwidth (PCIe 2.0 x16 effective), GB/s.
@@ -46,21 +47,60 @@ class Device:
         self.executor = Executor(spec, default_mode=exec_mode)
         self.transfers: list[TransferRecord] = []
         self.launch_count = 0
+        #: Recycled device allocations (fed by :meth:`scope` reclamation).
+        self.arena = BufferArena()
+        self._scopes: List[List[DeviceArray]] = []
 
     # -- memory ----------------------------------------------------------
-    def to_device(self, data: np.ndarray, name: str = "buf") -> DeviceArray:
-        """Host-to-device copy; returns the device allocation."""
-        array = DeviceArray(np.asarray(data), name=name)
-        self.transfers.append(TransferRecord("h2d", array.data.nbytes))
+    def _track(self, array: DeviceArray) -> DeviceArray:
+        if self._scopes:
+            self._scopes[-1].append(array)
         return array
 
+    @contextlib.contextmanager
+    def scope(self):
+        """Reclaim every allocation made inside the scope into the arena.
+
+        The serving runtime wraps each ``run()`` in a scope: segment-chain
+        intermediates are recycled instead of leaked, so repeated runs at a
+        shape reuse the same buffers instead of allocating fresh ones.
+        Buffers that must outlive the scope (none today — ``to_host``
+        copies) would simply be removed from the returned list before
+        exit.  Scopes nest; each allocation belongs to the innermost one.
+        """
+        allocated: List[DeviceArray] = []
+        self._scopes.append(allocated)
+        try:
+            yield allocated
+        finally:
+            self._scopes.pop()
+            for array in allocated:
+                self.arena.release(array)
+
+    def to_device(self, data: np.ndarray, name: str = "buf") -> DeviceArray:
+        """Host-to-device copy; returns the device allocation.
+
+        Always copies — a device buffer aliasing the caller's host array
+        would let kernel stores mutate user input in place.
+        """
+        flat = np.ascontiguousarray(data).reshape(-1)
+        array = self.arena.acquire(flat.size, flat.dtype, name)
+        np.copyto(array.data, flat)
+        self.transfers.append(TransferRecord("h2d", array.data.nbytes))
+        return self._track(array)
+
     def alloc(self, shape, dtype=np.float32, name: str = "buf") -> DeviceArray:
-        """Device-side allocation without a host copy."""
-        return DeviceArray(np.zeros(shape, dtype=dtype), name=name)
+        """Device-side allocation (zero-filled) without a host copy."""
+        size = int(np.prod(shape)) if not np.isscalar(shape) else int(shape)
+        return self._track(self.arena.acquire(size, dtype, name))
 
     def alloc_from(self, data: np.ndarray, name: str = "buf") -> DeviceArray:
-        """Device-side allocation initialized from data (no transfer cost)."""
-        return DeviceArray(np.asarray(data), name=name)
+        """Device-side allocation initialized from a copy of ``data``
+        (no transfer cost)."""
+        flat = np.ascontiguousarray(data).reshape(-1)
+        array = self.arena.acquire(flat.size, flat.dtype, name)
+        np.copyto(array.data, flat)
+        return self._track(array)
 
     def to_host(self, array: DeviceArray) -> np.ndarray:
         """Device-to-host copy."""

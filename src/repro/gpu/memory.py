@@ -93,6 +93,59 @@ class DeviceArray:
         return f"DeviceArray({self.name!r}, n={len(self)}, dtype={self.dtype})"
 
 
+class BufferArena:
+    """Size-and-dtype-bucketed free lists of :class:`DeviceArray` buffers.
+
+    The warm serving path allocates the same buffer sizes run after run;
+    recycling them through an arena makes the Nth run (amortized)
+    allocation-free.  Buckets match on exact ``(nelements, dtype)`` so a
+    recycled buffer is indistinguishable from a fresh one; recycled
+    buffers are zero-filled on acquire because kernels with masked lanes
+    may legitimately skip stores (fresh allocations are zeroed too, so
+    warm and cold outputs stay bit-identical).
+
+    Not thread-safe by design: each worker :class:`Device` owns its own
+    arena (the batched runner hands one device per thread).
+    """
+
+    def __init__(self) -> None:
+        self._free: Dict[Tuple[int, np.dtype], List[DeviceArray]] = {}
+        #: Buffers handed out from a free list.
+        self.hits = 0
+        #: Buffers that had to be freshly allocated.
+        self.misses = 0
+        #: Buffers returned for reuse.
+        self.released = 0
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._free.values())
+
+    def acquire(self, size: int, dtype=np.float64,
+                name: str = "buf") -> DeviceArray:
+        """A zero-filled device buffer of exactly ``size`` elements."""
+        key = (int(size), np.dtype(dtype))
+        bucket = self._free.get(key)
+        if bucket:
+            array = bucket.pop()
+            array.data.fill(0)
+            array.name = name
+            self.hits += 1
+            return array
+        self.misses += 1
+        return DeviceArray(np.zeros(int(size), dtype=dtype), name=name)
+
+    def release(self, array: DeviceArray) -> None:
+        """Return a buffer to its free list (contents become undefined)."""
+        key = (len(array), array.dtype)
+        self._free.setdefault(key, []).append(array)
+        self.released += 1
+
+    def clear(self) -> None:
+        """Drop every pooled buffer (and the hit/miss accounting)."""
+        self._free.clear()
+        self.hits = self.misses = self.released = 0
+
+
 @dataclasses.dataclass
 class AccessEvent:
     """One thread-level memory access recorded by the tracer."""
