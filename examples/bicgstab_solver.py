@@ -7,17 +7,15 @@ CUBLAS-call-per-sub-step implementation.
 
 import numpy as np
 
-from repro import TESLA_C2050
+from repro import TESLA_C2050, api
 from repro.apps import bicgstab
 from repro.baselines.cublas import bicgstab_step_seconds
-from repro.compiler import AdapticCompiler
 from repro.perfmodel import PerformanceModel
 
 
 def main():
     spec = TESLA_C2050
-    compiler = AdapticCompiler(spec)
-    steps = {s.name: compiler.compile(s.program)
+    steps = {s.name: api.compile(s.program, arch=spec)
              for s in bicgstab.step_specs()}
 
     n = 24

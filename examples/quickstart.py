@@ -7,7 +7,7 @@ inputs — watch the runtime pick a different kernel for each.
 
 import numpy as np
 
-from repro import Filter, StreamProgram, compile_program
+from repro import Filter, StreamProgram, api
 
 SDOT = """
 def sdot(n):
@@ -25,7 +25,7 @@ def main():
         input_size="2*n*r",
         input_ranges={"n": (256, 1 << 20)})
 
-    compiled = compile_program(program)
+    compiled = api.compile(program)
     print(compiled.describe())
     print()
 

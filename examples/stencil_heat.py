@@ -7,14 +7,14 @@ tiles (more blocks), large grids get large tiles (less halo overhead).
 
 import numpy as np
 
-from repro import TESLA_C2050, compile_program
+from repro import TESLA_C2050, api
 from repro.apps import stencil2d
 from repro.compiler.plans.stencilplan import TiledStencilPlan
 
 
 def main():
     spec = TESLA_C2050
-    compiled = compile_program(stencil2d.build(), spec)
+    compiled = api.compile(stencil2d.build(), arch=spec)
 
     # Adaptive tile sizes across grid scales (model-level, instant).
     tiled = next(p for seg in compiled.segments for p in seg.plans

@@ -8,10 +8,9 @@ against GPUSVM at the published dataset shapes.
 
 import numpy as np
 
-from repro import TESLA_C2050
+from repro import TESLA_C2050, api
 from repro.apps import bicgstab, svm
 from repro.baselines import gpusvm
-from repro.compiler import AdapticCompiler
 from repro.perfmodel import PerformanceModel
 
 
@@ -49,11 +48,10 @@ def train(x, labels, compiled, gamma=0.5, rate=1.0, iterations=25):
 
 def main():
     spec = TESLA_C2050
-    compiler = AdapticCompiler(spec)
     compiled = {
-        "kernel_row": compiler.compile(svm.build_kernel_row()),
-        "f_update": compiler.compile(svm.build_f_update()),
-        "pair_search": compiler.compile(svm.build_pair_search()),
+        "kernel_row": api.compile(svm.build_kernel_row(), arch=spec),
+        "f_update": api.compile(svm.build_f_update(), arch=spec),
+        "pair_search": api.compile(svm.build_pair_search(), arch=spec),
     }
 
     rng = np.random.default_rng(3)

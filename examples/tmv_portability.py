@@ -8,7 +8,7 @@ CUBLAS-style kernel collapses.
 
 import numpy as np
 
-from repro import TESLA_C2050, compile_program
+from repro import TESLA_C2050, api
 from repro.apps import tmv
 from repro.baselines import cublas
 from repro.perfmodel import PerformanceModel
@@ -17,7 +17,7 @@ from repro.perfmodel import PerformanceModel
 def main():
     spec = TESLA_C2050
     model = PerformanceModel(spec)
-    compiled = compile_program(tmv.build(), spec)
+    compiled = api.compile(tmv.build(), arch=spec)
     baseline = cublas.sgemv_t(spec)
 
     total = 1 << 20

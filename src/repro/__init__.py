@@ -28,24 +28,30 @@ paper's workflow:
 1024.0
 """
 
+from . import api
 from .compiler import (AdapticCompiler, AdapticOptions, CompiledProgram,
-                       CompileError, RunResult, compile_program)
-from .gpu import (Device, GTX_285, GTX_480, GPUSpec, Kernel, LaunchConfig,
-                  TESLA_C2050, get_target)
-from .perfmodel import (KernelCategory, KernelWorkload, PerformanceModel,
-                        Variant, sweep)
+                       CompileError, InputLocation, RunResult,
+                       compile_program)
+from .gpu import (Device, ExecMode, GTX_285, GTX_480, GPUSpec, Kernel,
+                  LaunchConfig, TESLA_C2050, get_target)
+from .perfmodel import (CalibrationStore, FeedbackConfig, KernelCategory,
+                        KernelWorkload, PerformanceModel, Variant, sweep)
 from .streamit import (Duplicate, FeedbackLoop, Filter, Pipeline, RoundRobin,
                        SplitJoin, StreamProgram, roundrobin, run_program)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    # stable facade
+    "api",
     # DSL
     "Filter", "Pipeline", "SplitJoin", "FeedbackLoop", "Duplicate",
     "RoundRobin", "roundrobin", "StreamProgram", "run_program",
     # compiler
     "AdapticCompiler", "AdapticOptions", "compile_program",
     "CompiledProgram", "CompileError", "RunResult",
+    # runtime enums / feedback
+    "ExecMode", "InputLocation", "CalibrationStore", "FeedbackConfig",
     # GPU targets / substrate
     "GPUSpec", "TESLA_C2050", "GTX_285", "GTX_480", "get_target", "Device",
     "Kernel",

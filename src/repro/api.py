@@ -1,0 +1,62 @@
+"""Stable public API for the Adaptic reproduction.
+
+One documented entry surface.  Applications import this module and
+nothing else::
+
+    from repro import api
+
+    compiled = api.compile(program, arch="c2050")
+    result = compiled.run(data, {"n": 1 << 20},
+                          exec_mode=api.ExecMode.VECTORIZED)
+    print(result.output, compiled.stats.summary())
+
+:func:`compile` is the only function defined here; everything else is a
+re-export of the types an application touches (:class:`CompiledProgram`,
+:class:`RunResult`, :class:`SelectionStats`, :class:`ExecMode`,
+:class:`InputLocation`, the feedback/calibration types, and the GPU
+targets).  The facade adds no behavior, so the internal modules can keep
+moving without breaking callers; the historical entry points
+(``repro.compile_program``, ``repro.compiler.AdapticCompiler``) remain
+importable but new code should come through here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .compiler import AdapticCompiler, AdapticOptions, CompileError
+from .compiler.runtime import (CompiledProgram, InputLocation, RunResult,
+                               SegmentExecution)
+from .compiler.stats import SelectionStats
+from .gpu import (Device, ExecMode, GPUSpec, GTX_285, GTX_480, TARGETS,
+                  TESLA_C2050, get_target)
+from .perfmodel import (CalibrationStore, FeedbackConfig, Observation,
+                        selection_accuracy, size_bucket)
+from .streamit import StreamProgram
+
+__all__ = [
+    "compile",
+    "AdapticOptions", "CompileError", "CompiledProgram", "RunResult",
+    "SegmentExecution", "SelectionStats",
+    "ExecMode", "InputLocation", "Device",
+    "CalibrationStore", "FeedbackConfig", "Observation",
+    "selection_accuracy", "size_bucket",
+    "GPUSpec", "TESLA_C2050", "GTX_285", "GTX_480", "TARGETS", "get_target",
+]
+
+
+def compile(program: StreamProgram,
+            arch: Union[GPUSpec, str] = TESLA_C2050, *,
+            options: Optional[AdapticOptions] = None) -> CompiledProgram:
+    """Compile ``program`` for a GPU target.
+
+    ``arch`` is a :class:`GPUSpec` or a target name from
+    :data:`repro.gpu.TARGETS` (``"c2050"``, ``"gtx285"``, ...).  Returns
+    a :class:`CompiledProgram`; run it with
+    :meth:`~CompiledProgram.run` / :meth:`~CompiledProgram.run_many`,
+    and feed measured time back into its variant selection with
+    ``run(..., feedback=True)`` or
+    :meth:`~CompiledProgram.recalibrate`.
+    """
+    spec = get_target(arch) if isinstance(arch, str) else arch
+    return AdapticCompiler(spec, options).compile(program)

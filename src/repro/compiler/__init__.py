@@ -2,12 +2,13 @@
 
 from .adaptic import (AdapticCompiler, AdapticOptions, CompileError,
                       compile_program)
-from .runtime import CompiledProgram, RunResult, SegmentExecution
+from .runtime import (CompiledProgram, InputLocation, RunResult,
+                      SegmentExecution)
 from .segments import Segment, SegmentDispatch
 from .stats import CostCache, SelectionStats
 
 __all__ = [
     "AdapticCompiler", "AdapticOptions", "compile_program", "CompileError",
-    "CompiledProgram", "RunResult", "SegmentExecution", "Segment",
-    "SegmentDispatch", "CostCache", "SelectionStats",
+    "CompiledProgram", "InputLocation", "RunResult", "SegmentExecution",
+    "Segment", "SegmentDispatch", "CostCache", "SelectionStats",
 ]

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import abc
 import dataclasses
+import re
 from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
@@ -85,6 +86,24 @@ class KernelPlan(abc.ABC):
         self._warm_cache: Dict[tuple, Any] = {}
         #: Arrays pinned so the id()-based keys can never be recycled.
         self._warm_pins: List[Any] = []
+
+    # -- identity ---------------------------------------------------------
+    @property
+    def family(self) -> str:
+        """Variant family: the strategy tag with parametrization stripped.
+
+        ``reduce.two_kernel[@64]`` and ``reduce.two_kernel[@128]`` are one
+        family (``reduce.two_kernel``): all parametrizations of one code
+        shape share the analytic model's systematic error, so measured
+        calibration factors are learned and applied per family.  Layout
+        suffixes (``+rows`` / ``+transposed``) stay distinct — they change
+        the memory behavior the model must predict.
+        """
+        return re.split(r"[\[@]", self.strategy, maxsplit=1)[0]
+
+    def variant_key(self, params: Optional[Dict[str, float]] = None) -> str:
+        """Identity of this variant in feedback records (the strategy tag)."""
+        return self.strategy
 
     # -- modeling ---------------------------------------------------------
     @abc.abstractmethod

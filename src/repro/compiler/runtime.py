@@ -23,18 +23,20 @@ wall-clock is counted in :attr:`CompiledProgram.stats`.
 from __future__ import annotations
 
 import dataclasses
+import enum
 import itertools
 import threading
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..gpu import Device, EXEC_MODES, GPUSpec, MODE_REFERENCE, \
+from ..gpu import Device, EXEC_MODES, ExecMode, GPUSpec, MODE_REFERENCE, \
     PCIE_BANDWIDTH_GBPS
-from ..perfmodel import PerformanceModel, Variant, geometric_points, \
-    sweep_axis
+from ..perfmodel import CalibrationStore, FeedbackConfig, PerformanceModel, \
+    Variant, geometric_points, size_bucket, sweep_axis
 from .exprgen import COMPILE_COUNTER
 from .plans.base import IN, KernelPlan, RESTRUCTURE_COUNTER, freeze_scalars
 from .segments import Segment, SegmentDispatch
@@ -42,6 +44,57 @@ from .stats import CostCache, SelectionStats
 
 #: Layouts that need no host-side restructuring.
 _CANONICAL = {"interleaved", "rows"}
+
+
+class InputLocation(str, enum.Enum):
+    """Where the program input lives when ``run()`` / ``select()`` is called.
+
+    ``HOST`` inputs can be restructured on the host before the H2D copy;
+    ``DEVICE`` inputs (e.g. a matrix reused across solver iterations) pin
+    the first segment to plans that need no host-side staging.  Replaces
+    the historical ``input_on_host`` booleans, which still coerce (with
+    one :class:`DeprecationWarning`) via :meth:`coerce`.
+    """
+
+    HOST = "host"
+    DEVICE = "device"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def on_host(self) -> bool:
+        return self is InputLocation.HOST
+
+    @classmethod
+    def coerce(cls, value, stacklevel: int = 3) -> "InputLocation":
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, bool):
+            warnings.warn(
+                "input_on_host booleans are deprecated; pass "
+                "repro.InputLocation.HOST or repro.InputLocation.DEVICE",
+                DeprecationWarning, stacklevel=stacklevel)
+            return cls.HOST if value else cls.DEVICE
+        return cls(value)
+
+
+class _CalibratedCost:
+    """Duck-typed :class:`CostCache` view with calibration factors applied.
+
+    Delegates the raw prediction to the shared memoized cache (counters
+    intact), then multiplies by the plan family's learned scale at the
+    binding's size bucket.  Calibrated values are never written back into
+    the cache — factors drift, memoized raw costs do not.
+    """
+
+    def __init__(self, cost: CostCache, store: CalibrationStore):
+        self._cost = cost
+        self._store = store
+
+    def plan_seconds(self, plan: KernelPlan, params) -> float:
+        raw = self._cost.plan_seconds(plan, params)
+        return raw * self._store.scale(plan.family, size_bucket(params))
 
 
 @dataclasses.dataclass
@@ -53,6 +106,10 @@ class SegmentExecution:
     strategy: str
     predicted_seconds: float
     optimizations: List[str]
+    #: Measured wall-clock of this segment's ``plan.execute`` (includes
+    #: any in-execute compilation on a cold run; warm runs are pure
+    #: kernel time).  The feedback layer's wall-clock observation source.
+    measured_seconds: float = 0.0
 
 
 @dataclasses.dataclass
@@ -104,6 +161,11 @@ class CompiledProgram:
         #: Memoized transfer model per frozen-scalar binding (the size
         #: expressions it evaluates are pure in the scalars).
         self._transfer_memo: Dict[tuple, float] = {}
+        #: Measured-feedback state: per-family EWMA calibration factors,
+        #: raw observations, probe budgets (repro.perfmodel.calibration).
+        self.calibration = CalibrationStore()
+        #: Policy for the feedback loop (margin, probe budget, observer).
+        self.feedback = FeedbackConfig()
 
     @property
     def stats(self) -> SelectionStats:
@@ -124,25 +186,38 @@ class CompiledProgram:
         plans = [p for p in segment.plans if p.input_layout in _CANONICAL]
         return plans or segment.plans
 
+    def _selection_cost(self):
+        """Cost view dispatch decisions use: calibrated iff feedback has
+        observed anything (or a model bias is injected); the raw memo
+        otherwise, so a program that never sees feedback selects — and
+        counts — identically to one without the calibration layer."""
+        if self.calibration.is_identity():
+            return self.cost
+        return _CalibratedCost(self.cost, self.calibration)
+
     def select(self, params: Dict[str, float],
-               force: Optional[Dict[str, str]] = None,
-               input_on_host: bool = True) -> List[KernelPlan]:
+               force: Optional[Dict[str, str]] = None, *,
+               input_on_host: Union[InputLocation, bool] = InputLocation.HOST
+               ) -> List[KernelPlan]:
         """Pick one plan per segment for this input (runtime management).
 
-        ``input_on_host=False`` marks inputs already resident in device
-        memory (e.g. a matrix reused across solver iterations): host-side
-        memory restructuring is then unavailable to the first segment.
+        ``input_on_host=InputLocation.DEVICE`` marks inputs already
+        resident in device memory (e.g. a matrix reused across solver
+        iterations): host-side memory restructuring is then unavailable
+        to the first segment.
 
         A segment with a baked, applicable dispatch table is decided by
         bisect with zero model evaluations; everything else falls back to
-        the exact (memoized) model-argmin.
+        the exact (memoized) model-argmin — calibrated by the measured
+        feedback factors when any have been learned.
         """
         started = time.perf_counter()
         stats = self.stats
         stats.select_calls += 1
         force = force or {}
+        cost = self._selection_cost()
         chosen: List[KernelPlan] = []
-        from_host = input_on_host
+        from_host = InputLocation.coerce(input_on_host).on_host
         for segment in self.segments:
             if segment.name in force:
                 plan = segment.plan_named(force[segment.name])
@@ -158,7 +233,7 @@ class CompiledProgram:
                     if segment.dispatch is not None:
                         stats.table_fallbacks += 1
                     eligible = self._eligible(segment, from_host)
-                    plan = segment.best_plan(self.cost, params,
+                    plan = segment.best_plan(cost, params,
                                              plans=eligible)
             chosen.append(plan)
             from_host = False
@@ -170,10 +245,13 @@ class CompiledProgram:
     # ------------------------------------------------------------------
     def predicted_seconds(self, params: Dict[str, float],
                           include_transfers: bool = True,
-                          force: Optional[Dict[str, str]] = None,
-                          input_on_host: bool = True) -> float:
-        plans = self.select(params, force, input_on_host=input_on_host)
-        total = sum(self.cost.plan_seconds(plan, params) for plan in plans)
+                          force: Optional[Dict[str, str]] = None, *,
+                          input_on_host: Union[InputLocation, bool]
+                          = InputLocation.HOST) -> float:
+        location = InputLocation.coerce(input_on_host)
+        plans = self.select(params, force, input_on_host=location)
+        cost = self._selection_cost()
+        total = sum(cost.plan_seconds(plan, params) for plan in plans)
         if include_transfers:
             total += self.transfer_seconds(params)
         return total
@@ -208,8 +286,9 @@ class CompiledProgram:
         run's allocations instead of making fresh ones.
         """
         if exec_mode is not None and exec_mode not in EXEC_MODES:
-            raise ValueError(f"unknown exec_mode {exec_mode!r}; "
-                             f"expected one of {EXEC_MODES}")
+            raise ValueError(
+                f"unknown exec_mode {exec_mode!r}; expected one of "
+                f"{[m.value for m in EXEC_MODES]}")
         if device is not None:
             if exec_mode is not None:
                 device.exec_mode = exec_mode
@@ -284,11 +363,13 @@ class CompiledProgram:
                 predicted += seconds
                 t = time.perf_counter()
                 buf = plan.execute(device, {IN: buf}, params)
-                stage["kernel"] += time.perf_counter() - t
+                plan_wall = time.perf_counter() - t
+                stage["kernel"] += plan_wall
                 selections.append(SegmentExecution(
                     segment=segment.name, kind=segment.kind,
                     strategy=plan.strategy, predicted_seconds=seconds,
-                    optimizations=list(plan.optimizations)))
+                    optimizations=list(plan.optimizations),
+                    measured_seconds=plan_wall))
             t = time.perf_counter()
             output = device.to_host(buf)
             stage["d2h"] = time.perf_counter() - t
@@ -311,22 +392,25 @@ class CompiledProgram:
                            stage_seconds=stage)
         return result, delta
 
-    def run(self, host_input: np.ndarray, params: Dict[str, float],
+    def run(self, host_input: np.ndarray, params: Dict[str, float], *,
             device: Optional[Device] = None,
             force: Optional[Dict[str, str]] = None,
-            input_on_host: bool = True,
-            exec_mode: Optional[str] = None) -> RunResult:
+            input_on_host: Union[InputLocation, bool] = InputLocation.HOST,
+            exec_mode: Optional[ExecMode] = None,
+            feedback: Union[bool, FeedbackConfig] = False) -> RunResult:
         """Execute functionally on the simulator device.
 
-        ``input_on_host=False`` models data already resident on the
-        device: selection is constrained to plans that need no host-side
-        restructuring (the ``_eligible`` contract), and none is applied.
+        ``input_on_host=InputLocation.DEVICE`` models data already
+        resident on the device: selection is constrained to plans that
+        need no host-side restructuring (the ``_eligible`` contract), and
+        none is applied.
 
-        ``exec_mode`` selects the executor path (``"reference"`` or
-        ``"vectorized"``); it overrides the mode of a passed-in ``device``
-        and otherwise selects a program-owned persistent device.  Both
-        paths produce bit-identical outputs — vectorized is a fast path
-        for kernels that carry a vector body, never a semantics change.
+        ``exec_mode`` selects the executor path
+        (:attr:`ExecMode.REFERENCE` or :attr:`ExecMode.VECTORIZED`); it
+        overrides the mode of a passed-in ``device`` and otherwise
+        selects a program-owned persistent device.  Both paths produce
+        bit-identical outputs — vectorized is a fast path for kernels
+        that carry a vector body, never a semantics change.
 
         Repeat runs at the same scalar parameters are the warm path: the
         selected plans serve compiled kernels and restructure
@@ -335,27 +419,42 @@ class CompiledProgram:
         recycle device buffers through the owned device's arena.  Stage
         wall-clocks land on :attr:`RunResult.stage_seconds` and aggregate
         into :attr:`stats`.
+
+        ``feedback=True`` folds this run's measured per-segment times
+        back into :attr:`calibration` after execution (and may spend a
+        bounded probe on a runner-up variant — see
+        :meth:`_apply_feedback`); pass a :class:`FeedbackConfig` to
+        override :attr:`feedback` for this call.  The default leaves the
+        calibration state untouched.
         """
+        location = InputLocation.coerce(input_on_host)
+        exec_mode = ExecMode.coerce(exec_mode)
         device = self._resolve_device(device, exec_mode)
         params = dict(params)
         host_input = self._validate_input(host_input, params)
         compile_before = COMPILE_COUNTER.snapshot()
         restructure_before = RESTRUCTURE_COUNTER.snapshot()
         started = time.perf_counter()
-        plans = self.select(params, force, input_on_host=input_on_host)
+        plans = self.select(params, force, input_on_host=location)
         select_seconds = time.perf_counter() - started
         result, delta = self._execute_plans(
-            host_input, params, plans, device, input_on_host,
+            host_input, params, plans, device, location.on_host,
             compile_before=compile_before,
             restructure_before=restructure_before)
         result.stage_seconds["select"] = select_seconds
         self.stats.merge(delta)
+        if feedback:
+            config = (feedback if isinstance(feedback, FeedbackConfig)
+                      else self.feedback)
+            self._apply_feedback(host_input, params, plans, result,
+                                 device, location.on_host, config)
         return result
 
-    def warmup(self, params: Dict[str, float],
+    def warmup(self, params: Dict[str, float], *,
                force: Optional[Dict[str, str]] = None,
-               input_on_host: bool = True,
-               exec_mode: Optional[str] = None) -> RunResult:
+               input_on_host: Union[InputLocation, bool] = InputLocation.HOST,
+               exec_mode: Optional[ExecMode] = None,
+               feedback: Union[bool, FeedbackConfig] = False) -> RunResult:
         """Prime every warm cache for one parameter binding.
 
         Runs the program once on a zero input of the expected size:
@@ -371,16 +470,20 @@ class CompiledProgram:
             expected = self.segments[0].input_size(params)
         zeros = np.zeros(int(expected), dtype=self.wire_dtype)
         return self.run(zeros, params, force=force,
-                        input_on_host=input_on_host, exec_mode=exec_mode)
+                        input_on_host=input_on_host, exec_mode=exec_mode,
+                        feedback=feedback)
 
     def run_many(self, inputs: Sequence[np.ndarray],
                  params_list: Union[Dict[str, float],
-                                    Sequence[Dict[str, float]]],
+                                    Sequence[Dict[str, float]]], *,
                  workers: int = 1,
                  force: Optional[Dict[str, str]] = None,
-                 input_on_host: bool = True,
-                 exec_mode: Optional[str] = None,
-                 warm: bool = True) -> List[RunResult]:
+                 input_on_host: Union[InputLocation, bool]
+                 = InputLocation.HOST,
+                 exec_mode: Optional[ExecMode] = None,
+                 warm: bool = True,
+                 feedback: Union[bool, FeedbackConfig] = False
+                 ) -> List[RunResult]:
         """Serve a batch of inputs through one shared warm path.
 
         ``params_list`` is either one params dict broadcast over the
@@ -391,7 +494,13 @@ class CompiledProgram:
         over a thread pool with one device per worker (arenas are not
         thread-safe); per-run counters are merged into :attr:`stats`
         after the workers join.
+
+        ``feedback=True`` folds one measured observation per distinct
+        scalar binding back into :attr:`calibration` after the batch
+        completes (never from worker threads — the store is unsynchronized).
         """
+        location = InputLocation.coerce(input_on_host)
+        exec_mode = ExecMode.coerce(exec_mode)
         inputs = list(inputs)
         if isinstance(params_list, dict):
             params_list = [params_list] * len(inputs)
@@ -411,9 +520,9 @@ class CompiledProgram:
                 continue
             if warm:
                 self.warmup(params, force=force,
-                            input_on_host=input_on_host,
+                            input_on_host=location,
                             exec_mode=exec_mode)
-            plans = self.select(params, force, input_on_host=input_on_host)
+            plans = self.select(params, force, input_on_host=location)
             selections[key] = plans
             plan_costs[key] = {id(plan): self.cost.plan_seconds(plan, params)
                                for plan in plans}
@@ -439,7 +548,7 @@ class CompiledProgram:
                 device = worker_device()
             result, delta = self._execute_plans(
                 host_input, params, selections[key], device,
-                input_on_host, plan_costs[key])
+                location.on_host, plan_costs[key])
             result.stage_seconds["select"] = 0.0
             return index, result, delta
 
@@ -458,23 +567,266 @@ class CompiledProgram:
                     deltas.append(delta)
         for delta in deltas:
             self.stats.merge(delta)
+        if feedback:
+            config = (feedback if isinstance(feedback, FeedbackConfig)
+                      else self.feedback)
+            observed_keys = set()
+            for index, params in enumerate(params_list):
+                key = freeze_scalars(params)
+                if key in observed_keys:
+                    continue
+                observed_keys.add(key)
+                self._apply_feedback(
+                    self._validate_input(inputs[index], params), params,
+                    selections[key], results[index],
+                    self._resolve_device(None, exec_mode),
+                    location.on_host, config)
         return results
+
+    # ------------------------------------------------------------------
+    # Measured feedback (online recalibration + mispredict re-selection)
+    # ------------------------------------------------------------------
+    def recalibrate(self, points: Sequence[Dict[str, float]], *,
+                    force: Optional[Dict[str, str]] = None,
+                    input_on_host: Union[InputLocation, bool]
+                    = InputLocation.HOST,
+                    feedback: Optional[FeedbackConfig] = None
+                    ) -> CalibrationStore:
+        """Drive the feedback loop over a set of parameter bindings.
+
+        With an ``observer`` configured (on ``feedback`` or
+        :attr:`feedback`), each binding is selected and observed without
+        executing — the cheap deterministic path the experiment drivers
+        and tests use.  Without one, each binding is executed once via
+        :meth:`warmup` with feedback enabled, so observations come from
+        measured kernel wall-clock.  Returns :attr:`calibration`.
+        """
+        config = feedback or self.feedback
+        location = InputLocation.coerce(input_on_host)
+        for params in points:
+            params = dict(params)
+            if config.observer is None:
+                self.warmup(params, force=force, input_on_host=location,
+                            feedback=config)
+                continue
+            # Observations are free on the observer path, so drive each
+            # binding to a fixed point: re-select and feed back until a
+            # pass spends no probe (selection settled and every family
+            # worth exploring at this bucket has been seen).  The
+            # per-(segment, bucket) probe budget bounds the loop.
+            while True:
+                plans = self.select(params, force, input_on_host=location)
+                probes_before = self.stats.probe_runs
+                self._apply_feedback(None, params, plans, None, None,
+                                     location.on_host, config)
+                if self.stats.probe_runs == probes_before:
+                    break
+        return self.calibration
+
+    def save_calibration(self, path) -> None:
+        """Persist the learned calibration factors as JSON.
+
+        A warmed service restarts hot: :meth:`load_calibration` on a
+        freshly compiled program restores the factors (and re-bakes its
+        dispatch tables under them) without re-measuring anything.
+        """
+        self.calibration.save(path)
+
+    def load_calibration(self, path) -> None:
+        """Restore factors saved by :meth:`save_calibration`.
+
+        Every baked dispatch table is re-swept under the restored
+        factors, so table lookups agree with what calibrated argmin
+        would choose.
+        """
+        self.calibration.load(path)
+        if not self.calibration.is_identity():
+            for segment in self.segments:
+                self._rebake_dispatch(segment)
+
+    def _apply_feedback(self, host_input: Optional[np.ndarray],
+                        params: Dict[str, float],
+                        plans: List[KernelPlan],
+                        result: Optional[RunResult],
+                        device: Optional[Device],
+                        input_on_host: bool,
+                        config: FeedbackConfig) -> None:
+        """Fold one run's measurements back into the calibration store.
+
+        Per segment: observe the chosen variant's time (the configured
+        ``observer``, or the run's measured per-segment wall-clock), fold
+        the observed/predicted ratio into the family's EWMA factor, then
+        decide whether to spend a probe on the calibrated runner-up —
+        because that family has never been observed at this size bucket
+        (exploration), because the chosen variant's observed time
+        exceeded the runner-up's calibrated prediction by the mispredict
+        margin, or on the deterministic epsilon schedule.  A probe
+        measures the runner-up (observer call, or a re-execution of the
+        chain with the runner substituted); if the calibrated costs then
+        rank the runner first, the segment's baked break-even boundary is
+        patched in place.  Probes are bounded per ``(segment, bucket)``
+        by ``config.probe_limit``; large factor swings re-bake the
+        affected table (``config.rebake_threshold``).
+        """
+        store = self.calibration
+        stats = self.stats
+        bucket = size_bucket(params)
+        scalars = freeze_scalars(params)
+
+        def measure(index: int, plan: KernelPlan) -> float:
+            if config.observer is not None:
+                return float(config.observer(plan, params))
+            if result is not None and plan is plans[index]:
+                return result.selections[index].measured_seconds
+            return self._probe_execute(host_input, params, plans, index,
+                                       plan, device, input_on_host)
+
+        def fold(segment: Segment, plan: KernelPlan,
+                 observed: float) -> float:
+            raw = self.cost.plan_seconds(plan, params)
+            predicted = raw * store.bias(plan.family)
+            change = store.observe(
+                plan.family, scalars, bucket, observed, predicted,
+                alpha=config.alpha, variant=plan.variant_key(params))
+            stats.feedback_observations += 1
+            if (config.rebake_threshold is not None
+                    and change > config.rebake_threshold
+                    and segment.dispatch is not None):
+                self._rebake_dispatch(segment)
+            return change
+
+        from_host = input_on_host
+        for index, (segment, plan) in enumerate(zip(self.segments, plans)):
+            seg_from_host = from_host
+            from_host = False
+            observed = measure(index, plan)
+            fold(segment, plan, observed)
+            if len(segment.plans) < 2:
+                continue
+            eligible = self._eligible(segment, seg_from_host)
+            cost = self._selection_cost()
+            ranked = sorted(
+                (p for p in eligible if p is not plan),
+                key=lambda p: cost.plan_seconds(p, params))
+            if not ranked:
+                continue
+            # A mispredict verdict needs both sides in measured units:
+            # only meaningful once the runner-up's family has been
+            # observed at this bucket.  An unobserved family is worth a
+            # probe on its own, best-ranked first — a family the biased
+            # model wrongly prices out of contention is found this way,
+            # one family per visit, within the probe budget.
+            runner = next(
+                (p for p in ranked
+                 if not store.has_observations(p.family, bucket)), None)
+            explore = runner is not None
+            if runner is None:
+                runner = ranked[0]
+            runner_cal = cost.plan_seconds(runner, params)
+            mispredict = (not explore
+                          and observed > config.margin * runner_cal)
+            interval = config.probe_interval()
+            periodic = bool(interval) and \
+                store.total_observations % interval == 0
+            if mispredict:
+                stats.mispredicts += 1
+            if not (explore or mispredict or periodic):
+                continue
+            if store.probes_used(segment.name, bucket) \
+                    >= config.probe_limit:
+                continue
+            store.note_probe(segment.name, bucket)
+            stats.probe_runs += 1
+            runner_observed = measure(index, runner)
+            fold(segment, runner, runner_observed)
+            # Post-probe verdict: does the calibrated model now rank the
+            # runner first?  If a baked table chose the loser, repair its
+            # break-even boundary in place; argmin paths pick up the new
+            # factors on the next select() automatically.
+            cost = self._selection_cost()
+            if cost.plan_seconds(runner, params) \
+                    < cost.plan_seconds(plan, params):
+                self._patch_dispatch(segment, params, runner.strategy,
+                                     seg_from_host)
+
+    def _probe_execute(self, host_input: np.ndarray,
+                       params: Dict[str, float],
+                       plans: List[KernelPlan], index: int,
+                       runner: KernelPlan, device: Device,
+                       input_on_host: bool) -> float:
+        """Measure ``runner`` by re-running the chain with it substituted.
+
+        The probe's counters are merged into :attr:`stats` with ``runs``
+        zeroed — probe executions are accounted by ``probe_runs``, not as
+        served runs.
+        """
+        probe_plans = list(plans)
+        probe_plans[index] = runner
+        result, delta = self._execute_plans(host_input, params, probe_plans,
+                                            device, input_on_host)
+        delta.runs = 0
+        self.stats.merge(delta)
+        return result.selections[index].measured_seconds
+
+    def _patch_dispatch(self, segment: Segment, params: Dict[str, float],
+                        winner: str, from_host: bool) -> bool:
+        """Repair a baked table that a probe just contradicted."""
+        dispatch = segment.dispatch
+        if dispatch is None:
+            return False
+        current = dispatch.lookup(params, from_host)
+        if current is None or current == winner:
+            return False
+        if dispatch.patch(params[dispatch.axis], winner):
+            self.stats.table_patches += 1
+            return True
+        return False
+
+    def _rebake_dispatch(self, segment: Segment) -> bool:
+        """Re-sweep one segment's baked table under calibrated costs."""
+        dispatch = segment.dispatch
+        if dispatch is None:
+            return False
+        base = dict(dispatch.extras)
+        cost = self._selection_cost()
+        eligible = self._eligible(segment, dispatch.from_host)
+        variants = [
+            Variant(plan.strategy,
+                    lambda v, plan=plan: cost.plan_seconds(
+                        plan, {**base, dispatch.axis: int(v)}))
+            for plan in eligible
+        ]
+        with self.cost.compile_scope():
+            try:
+                table = sweep_axis(variants, dispatch.lo, dispatch.hi,
+                                   samples=dispatch.samples, refine=True)
+            except Exception:
+                return False
+        segment.dispatch = SegmentDispatch(
+            axis=dispatch.axis, lo=int(table.subranges[0].lo),
+            hi=int(table.subranges[-1].hi), extras=dispatch.extras,
+            from_host=dispatch.from_host, table=table,
+            samples=dispatch.samples)
+        self.stats.table_rebakes += 1
+        return True
 
     def clear_warm_caches(self) -> None:
         """Cold-start the serving layer.
 
         Drops every plan's compiled-kernel artifacts and restructure
-        permutations, empties the owned devices' buffer arenas, and
-        clears the memoized cost layer (model-argmin selections are
-        runtime work the paper charges to the initial transfer, so a
-        cold start re-evaluates them).  Baked dispatch tables survive —
-        they are compile-time products, not run-time warm state.
+        permutations, empties the owned devices' buffer arenas, clears
+        the memoized cost layer (model-argmin selections are runtime
+        work the paper charges to the initial transfer, so a cold start
+        re-evaluates them), and resets the calibration store — measured
+        feedback is warm state.  Baked dispatch tables survive — they
+        are compile-time products, not run-time warm state.
         """
         for segment in self.segments:
             for plan in segment.plans:
                 plan.clear_warm_cache()
         self.cost.clear()
         self._transfer_memo.clear()
+        self.calibration.reset()
         with self._device_lock:
             for device in self._run_devices.values():
                 device.arena.clear()
@@ -540,6 +892,7 @@ class CompiledProgram:
         ranges = self.program.input_ranges
         extras = dict(extra_params or {})
         baked = 0
+        cost = self._selection_cost()
         for axis in sorted(ranges):
             lo, hi = ranges[axis]
             others = set(ranges) - {axis}
@@ -553,7 +906,7 @@ class CompiledProgram:
                     variants = [
                         Variant(plan.strategy,
                                 lambda v, plan=plan, axis=axis:
-                                self.cost.plan_seconds(
+                                cost.plan_seconds(
                                     plan, {**base, axis: int(v)}))
                         for plan in eligible
                     ]
@@ -571,7 +924,7 @@ class CompiledProgram:
                         axis=axis, lo=int(table.subranges[0].lo),
                         hi=int(table.subranges[-1].hi),
                         extras=freeze_scalars(base),
-                        from_host=from_host, table=table)
+                        from_host=from_host, table=table, samples=samples)
                     from_host = False
                     baked += 1
             break                 # one baked axis per segment chain

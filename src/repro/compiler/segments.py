@@ -40,6 +40,8 @@ class SegmentDispatch:
     extras: tuple            # freeze_scalars() of the non-axis parameters
     from_host: bool          # eligibility context the table was baked under
     table: DecisionTable
+    #: Sample density the table was swept at (re-bakes reuse it).
+    samples: int = 8
 
     def lookup(self, params: Dict[str, float],
                from_host: bool) -> Optional[str]:
@@ -55,6 +57,15 @@ class SegmentDispatch:
         if freeze_scalars(others) != self.extras:
             return None
         return self.table.lookup(value)
+
+    def patch(self, value, winner: str) -> bool:
+        """Repair the baked break-even boundary at one axis value.
+
+        Called by the runtime's feedback layer after a probe measurement
+        contradicts the table; delegates to
+        :meth:`~repro.perfmodel.DecisionTable.patch`.
+        """
+        return self.table.patch(int(value), winner)
 
 
 def _points_equal(a: Dict, b: Dict) -> bool:

@@ -55,6 +55,18 @@ class SelectionStats:
     kernel_seconds: float = 0.0
     d2h_seconds: float = 0.0
     compile_seconds: float = 0.0
+    #: Measured observations folded into the calibration store.
+    feedback_observations: int = 0
+    #: Runs whose chosen variant's observed time exceeded the calibrated
+    #: runner-up prediction by the configured margin.
+    mispredicts: int = 0
+    #: Probe measurements of a runner-up variant (bounded per
+    #: segment + size bucket by :class:`FeedbackConfig.probe_limit`).
+    probe_runs: int = 0
+    #: Dispatch-table break-even boundaries patched in place by a probe.
+    table_patches: int = 0
+    #: Dispatch tables re-swept after a large calibration-factor change.
+    table_rebakes: int = 0
 
     @property
     def runtime_evals(self) -> int:
@@ -101,7 +113,12 @@ class SelectionStats:
                 f" select_wall={self.select_seconds * 1e6:.0f}us"
                 f" runs={self.runs}"
                 f" run_compiles={self.expr_compiles}"
-                f" perm_builds={self.restructure_builds}")
+                f" perm_builds={self.restructure_builds}"
+                f" feedback={self.feedback_observations}"
+                f" probes={self.probe_runs}"
+                f" mispredicts={self.mispredicts}"
+                f" patches={self.table_patches}"
+                f" rebakes={self.table_rebakes}")
 
     def stage_summary(self) -> str:
         """One-line per-stage wall-clock aggregate over all runs."""
@@ -175,10 +192,12 @@ class CostCache:
 def cost_fn(model_or_cache):
     """Uniform ``(plan, params) -> seconds`` view of a model or a cache.
 
-    Segment-level helpers accept either a bare :class:`PerformanceModel`
-    (uncounted, uncached — handy in tests) or a :class:`CostCache`.
+    Segment-level helpers accept a bare :class:`PerformanceModel`
+    (uncounted, uncached — handy in tests) or anything exposing a
+    ``plan_seconds(plan, params)`` method: a :class:`CostCache` or the
+    runtime's calibrated view of one.
     """
-    if isinstance(model_or_cache, CostCache):
+    if hasattr(model_or_cache, "plan_seconds"):
         return model_or_cache.plan_seconds
     return lambda plan, params: plan.predicted_seconds(model_or_cache,
                                                        params)

@@ -8,8 +8,7 @@ compiler emits exactly one kernel per segment).
 
 from __future__ import annotations
 
-from .. import apps
-from ..compiler import AdapticCompiler
+from .. import api, apps
 from ..gpu import GPUSpec, TESLA_C2050
 from .common import FigureResult, Series
 
@@ -33,7 +32,7 @@ def run(spec: GPUSpec = TESLA_C2050, samples: int = 5,
         tolerance: float = 0.15) -> FigureResult:
     names, ratios = [], []
     for name, (prog_fn, extra) in CASES.items():
-        compiled = AdapticCompiler(spec).compile(prog_fn())
+        compiled = api.compile(prog_fn(), arch=spec)
         try:
             compiled.prune_variants(samples=samples, extra_params=extra,
                                     tolerance=tolerance)

@@ -12,11 +12,9 @@ from typing import Dict, List
 
 import numpy as np
 
-from .. import apps
+from .. import api, apps
 from ..baselines import cublas, sdk
-from ..compiler import AdapticCompiler
-from ..gpu import (DeviceArray, GPUSpec, MODE_REFERENCE, MODE_VECTORIZED,
-                   TESLA_C2050)
+from ..gpu import DeviceArray, GPUSpec, TESLA_C2050
 from .common import FigureResult, Series, model_for, shape_label, size_label
 
 #: Seven vector sizes for the CUBLAS reductions.
@@ -101,7 +99,7 @@ def run_benchmark_stats(name: str, spec: GPUSpec = TESLA_C2050):
     zero runtime model evaluations.
     """
     model = model_for(spec)
-    compiled = AdapticCompiler(spec).compile(_program(name))
+    compiled = api.compile(_program(name), arch=spec)
     extras = BAKE_EXTRAS.get(name)
     if extras is not None:
         # The seven query sizes coincide with the geometric bake samples
@@ -140,19 +138,59 @@ def functional_check(name: str = "sdot", n: int = 4096,
     rng = np.random.default_rng(seed)
     data = apps.blas1.make_input(name, n, 1, rng)
     params = {"n": n, "r": 1}
-    compiled = AdapticCompiler(spec).compile(_program(name))
+    compiled = api.compile(_program(name), arch=spec)
     outputs = {}
-    for mode in (MODE_REFERENCE, MODE_VECTORIZED):
+    for mode in (api.ExecMode.REFERENCE, api.ExecMode.VECTORIZED):
         DeviceArray.reset_base_allocator()
         outputs[mode] = np.asarray(
             compiled.run(data, params, exec_mode=mode).output)
         warm = np.asarray(compiled.run(data, params, exec_mode=mode).output)
         if warm.tobytes() != outputs[mode].tobytes():
             raise AssertionError(f"{name}: warm {mode} run diverged")
-    ref, vec = outputs[MODE_REFERENCE], outputs[MODE_VECTORIZED]
+    ref = outputs[api.ExecMode.REFERENCE]
+    vec = outputs[api.ExecMode.VECTORIZED]
     if ref.tobytes() != vec.tobytes():
         raise AssertionError(f"{name}: executor modes disagree")
     return ref
+
+
+def calibration_report(name: str = "sdot", spec: GPUSpec = TESLA_C2050,
+                       bias: float = 3.0,
+                       family: str = None) -> Dict[str, object]:
+    """Selection accuracy over the seven sizes before/after recalibration.
+
+    A controlled model-error experiment: perturb the analytic model by a
+    known multiplicative ``bias`` for one variant family (by default the
+    family the un-biased model would pick at the largest size, so the
+    error actually flips decisions), bake the dispatch table from the
+    biased model, and score selection against the un-biased model over
+    :data:`VECTOR_SIZES`.  Then drive :meth:`CompiledProgram.recalibrate`
+    with the un-biased model as the measurement source and score again —
+    the EWMA factors cancel the bias and the mispredict probes re-bake
+    or patch the wrong table entries.
+    """
+    compiled = api.compile(_program(name), arch=spec)
+    truth = compiled.cost.plan_seconds
+    extras = BAKE_EXTRAS.get(name) or {}
+    points = [{"n": n, **extras} for n in VECTOR_SIZES]
+    if family is None:
+        family = compiled.select(dict(points[-1]))[0].family
+    compiled.calibration.set_model_bias(family, bias)
+    compiled.bake_decision_tables(samples=len(VECTOR_SIZES),
+                                  extra_params=extras, refine=False)
+    before = api.selection_accuracy(compiled, points, reference=truth)
+    config = api.FeedbackConfig(
+        observer=lambda plan, params: truth(plan, params))
+    compiled.recalibrate(points, feedback=config)
+    after = api.selection_accuracy(compiled, points, reference=truth)
+    stats = compiled.stats
+    return {
+        "benchmark": name, "family": family, "bias": bias,
+        "accuracy_before": before, "accuracy_after": after,
+        "observations": stats.feedback_observations,
+        "probes": stats.probe_runs, "mispredicts": stats.mispredicts,
+        "patches": stats.table_patches, "rebakes": stats.table_rebakes,
+    }
 
 
 def run_benchmark(name: str, spec: GPUSpec = TESLA_C2050) -> Series:

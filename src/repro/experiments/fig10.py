@@ -12,11 +12,10 @@ from typing import Dict, List
 
 import numpy as np
 
+from .. import api
 from ..apps import tmv
 from ..baselines import cublas
-from ..compiler import AdapticCompiler
-from ..gpu import (DeviceArray, GPUSpec, MODE_REFERENCE, MODE_VECTORIZED,
-                   TESLA_C2050)
+from ..gpu import DeviceArray, GPUSpec, TESLA_C2050
 from .common import FigureResult, Series, model_for, shape_label
 
 PANELS = {"1M": 1 << 20, "4M": 4 << 20, "16M": 16 << 20}
@@ -26,7 +25,7 @@ def run_panel(total_elements: int,
               spec: GPUSpec = TESLA_C2050) -> FigureResult:
     model = model_for(spec)
     baseline = cublas.sgemv_t(spec)
-    compiled = AdapticCompiler(spec).compile(tmv.build())
+    compiled = api.compile(tmv.build(), arch=spec)
     labels: List[str] = []
     cublas_gflops: List[float] = []
     adaptic_gflops: List[float] = []
@@ -74,9 +73,9 @@ def functional_check(rows: int = 48, cols: int = 160,
     """
     rng = np.random.default_rng(seed)
     matrix, _vec, params = tmv.make_input(rows, cols, rng)
-    compiled = AdapticCompiler(spec).compile(tmv.build())
+    compiled = api.compile(tmv.build(), arch=spec)
     outputs = {}
-    for mode in (MODE_REFERENCE, MODE_VECTORIZED):
+    for mode in (api.ExecMode.REFERENCE, api.ExecMode.VECTORIZED):
         DeviceArray.reset_base_allocator()
         outputs[mode] = np.asarray(
             compiled.run(matrix, params, exec_mode=mode).output)
@@ -85,10 +84,53 @@ def functional_check(rows: int = 48, cols: int = 160,
         if warm.tobytes() != outputs[mode].tobytes():
             raise AssertionError(
                 f"tmv {rows}x{cols}: warm {mode} run diverged")
-    ref, vec = outputs[MODE_REFERENCE], outputs[MODE_VECTORIZED]
+    ref = outputs[api.ExecMode.REFERENCE]
+    vec = outputs[api.ExecMode.VECTORIZED]
     if ref.tobytes() != vec.tobytes():
         raise AssertionError(f"tmv {rows}x{cols}: executor modes disagree")
     return ref
+
+
+def calibration_report(total_elements: int = 1 << 20,
+                       spec: GPUSpec = TESLA_C2050,
+                       bias: float = 3.0,
+                       family: str = None) -> Dict[str, object]:
+    """Selection accuracy over one shape sweep before/after recalibration.
+
+    The figure's sweep holds total elements fixed, so every
+    (rows × cols) point lands in one size bucket — the setting where a
+    single learned factor must transfer across shapes.  A known
+    multiplicative ``bias`` is injected for one variant family (by
+    default the family the un-biased model picks mid-sweep, where the
+    break-even structure is densest); selection is scored against the
+    un-biased model across the sweep, the feedback loop runs with the
+    un-biased model as its measurement source, and selection is scored
+    again.  TMV declares ranges on both axes, so there is no baked
+    table here: recovery is purely the EWMA factors steering the
+    calibrated argmin.
+    """
+    compiled = api.compile(tmv.build(), arch=spec)
+    truth = compiled.cost.plan_seconds
+    points = [{"rows": rows, "cols": cols}
+              for rows, cols in tmv.shape_sweep(total_elements)]
+    if family is None:
+        family = compiled.select(
+            dict(points[len(points) // 2]))[0].family
+    compiled.calibration.set_model_bias(family, bias)
+    before = api.selection_accuracy(compiled, points, reference=truth)
+    config = api.FeedbackConfig(
+        observer=lambda plan, params: truth(plan, params))
+    compiled.recalibrate(points, feedback=config)
+    after = api.selection_accuracy(compiled, points, reference=truth)
+    stats = compiled.stats
+    return {
+        "sweep": f"{total_elements >> 20}M", "family": family,
+        "bias": bias, "points": len(points),
+        "accuracy_before": before, "accuracy_after": after,
+        "observations": stats.feedback_observations,
+        "probes": stats.probe_runs, "mispredicts": stats.mispredicts,
+        "patches": stats.table_patches, "rebakes": stats.table_rebakes,
+    }
 
 
 def run(spec: GPUSpec = TESLA_C2050) -> Dict[str, FigureResult]:

@@ -17,11 +17,11 @@ from typing import Dict, List
 
 import numpy as np
 
+from .. import api
 from ..apps import bicgstab
 from ..baselines.cublas import bicgstab_step_seconds
-from ..compiler import AdapticCompiler, AdapticOptions
-from ..gpu import (DeviceArray, GPUSpec, GTX_285, MODE_REFERENCE,
-                   MODE_VECTORIZED, TESLA_C2050)
+from ..compiler import AdapticOptions
+from ..gpu import (DeviceArray, GPUSpec, GTX_285, TESLA_C2050)
 from .common import FigureResult, Series, combined_stats, model_for
 
 SIZES = [512, 1024, 2048, 4096, 8192]
@@ -68,10 +68,9 @@ def _compile_steps(options: AdapticOptions, spec: GPUSpec,
     near-tie pockets between grid points that no finite table
     resolves).
     """
-    compiler = AdapticCompiler(spec, options)
     steps = []
     for step in bicgstab.step_specs():
-        compiled = compiler.compile(step.program)
+        compiled = api.compile(step.program, arch=spec, options=options)
         if bake:
             extras = {k: v
                       for k, v in _step_params(step, SIZES[0]).items()
@@ -108,7 +107,6 @@ def functional_check(n: int = 96, spec: GPUSpec = TESLA_C2050,
     Returns the step names checked.
     """
     rng = np.random.default_rng(seed)
-    compiler = AdapticCompiler(spec)
     checked: List[str] = []
     mismatches: List[str] = []
     for step in bicgstab.step_specs():
@@ -117,9 +115,9 @@ def functional_check(n: int = 96, spec: GPUSpec = TESLA_C2050,
         params = _step_params(step, n)
         data = rng.standard_normal(
             step.program.input_size.evaluate(params))
-        compiled = compiler.compile(step.program)
+        compiled = api.compile(step.program, arch=spec)
         outputs = {}
-        for mode in (MODE_REFERENCE, MODE_VECTORIZED):
+        for mode in (api.ExecMode.REFERENCE, api.ExecMode.VECTORIZED):
             DeviceArray.reset_base_allocator()
             outputs[mode] = np.asarray(
                 compiled.run(data, params, exec_mode=mode).output)
@@ -127,13 +125,55 @@ def functional_check(n: int = 96, spec: GPUSpec = TESLA_C2050,
                 compiled.run(data, params, exec_mode=mode).output)
             if warm.tobytes() != outputs[mode].tobytes():
                 mismatches.append(f"{step.name} (warm {mode})")
-        if (outputs[MODE_REFERENCE].tobytes()
-                != outputs[MODE_VECTORIZED].tobytes()):
+        if (outputs[api.ExecMode.REFERENCE].tobytes()
+                != outputs[api.ExecMode.VECTORIZED].tobytes()):
             mismatches.append(step.name)
         checked.append(step.name)
     if mismatches:
         raise AssertionError(f"executor modes disagree on: {mismatches}")
     return checked
+
+
+def calibration_report(spec: GPUSpec = TESLA_C2050, bias: float = 3.0,
+                       sizes: List[int] = None) -> Dict[str, object]:
+    """Per-step selection accuracy before/after recalibration.
+
+    For every BiCGSTAB step under the full optimization pipeline, a
+    known multiplicative ``bias`` is injected for the family the
+    un-biased model picks at the largest size, selection is scored
+    against the un-biased model over :data:`SIZES`, the feedback loop
+    runs with the un-biased model as its measurement source, and
+    selection is scored again.  Steps whose kernel segments offer a
+    single variant family cannot mispredict and score 1.0 throughout.
+    """
+    sizes = sizes or SIZES
+    steps = _compile_steps(CONFIGS[-1][1], spec)
+    per_step: Dict[str, Dict[str, float]] = {}
+    befores: List[float] = []
+    afters: List[float] = []
+    probes = 0
+    for step, compiled in steps:
+        truth = compiled.cost.plan_seconds
+        points = [_step_params(step, n) for n in sizes]
+        family = compiled.select(dict(points[-1]))[0].family
+        compiled.calibration.set_model_bias(family, bias)
+        before = api.selection_accuracy(compiled, points, reference=truth)
+        config = api.FeedbackConfig(
+            observer=lambda plan, params, truth=truth: truth(plan, params))
+        compiled.recalibrate(points, feedback=config)
+        after = api.selection_accuracy(compiled, points, reference=truth)
+        per_step[step.name] = {"family": family, "accuracy_before": before,
+                               "accuracy_after": after,
+                               "probes": compiled.stats.probe_runs}
+        befores.append(before)
+        afters.append(after)
+        probes += compiled.stats.probe_runs
+    return {
+        "bias": bias, "steps": per_step,
+        "accuracy_before": sum(befores) / len(befores),
+        "accuracy_after": sum(afters) / len(afters),
+        "probes": probes,
+    }
 
 
 def cublas_iteration_seconds(n: int, spec: GPUSpec) -> float:

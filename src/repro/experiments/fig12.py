@@ -12,9 +12,10 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from .. import api
 from ..apps import svm
 from ..baselines import gpusvm
-from ..compiler import AdapticCompiler, AdapticOptions
+from ..compiler import AdapticOptions
 from ..gpu import GPUSpec, GTX_285, TESLA_C2050
 from .common import FigureResult, Series, model_for
 from .fig11 import CONFIGS
@@ -26,21 +27,22 @@ def adaptic_iteration_seconds(options: AdapticOptions,
                               dataset: svm.Dataset, spec: GPUSpec,
                               gamma: float = 0.05) -> float:
     """One SMO iteration: 2 kernel rows + f update + pair search."""
-    compiler = AdapticCompiler(spec, options)
     m, nfeat = dataset.samples, dataset.features
+    device = api.InputLocation.DEVICE
     # The feature matrix and the f vector live in device memory across SMO
     # iterations, so host-side restructuring is not on the table.
-    row = compiler.compile(svm.build_kernel_row())
+    row = api.compile(svm.build_kernel_row(), arch=spec, options=options)
     row_params = {"nfeat": nfeat, "m": m, "gamma": gamma, "norm_i": 0.0}
     t = 2 * row.predicted_seconds(row_params, include_transfers=False,
-                                  input_on_host=False)
-    update = compiler.compile(svm.build_f_update())
+                                  input_on_host=device)
+    update = api.compile(svm.build_f_update(), arch=spec, options=options)
     t += update.predicted_seconds({"m": m, "di": 1.0, "dj": 1.0},
                                   include_transfers=False,
-                                  input_on_host=False)
-    search = compiler.compile(svm.build_pair_search())
+                                  input_on_host=device)
+    search = api.compile(svm.build_pair_search(), arch=spec,
+                         options=options)
     t += search.predicted_seconds({"m": m}, include_transfers=False,
-                                  input_on_host=False)
+                                  input_on_host=device)
     return t
 
 

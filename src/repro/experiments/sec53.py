@@ -9,9 +9,8 @@ from __future__ import annotations
 
 from typing import Dict
 
-from .. import apps
+from .. import api, apps
 from ..baselines import cublas, sdk
-from ..compiler import AdapticCompiler
 from ..gpu import GPUSpec, TESLA_C2050
 from .common import FigureResult, Series, model_for
 
@@ -45,7 +44,7 @@ def run(spec: GPUSpec = TESLA_C2050,
     model = model_for(spec)
     names, ratios = [], []
     for name, (prog_fn, base_fn, params) in (cases or CASES).items():
-        compiled = AdapticCompiler(spec).compile(prog_fn())
+        compiled = api.compile(prog_fn(), arch=spec)
         t_adaptic = compiled.predicted_seconds(params,
                                                include_transfers=False)
         t_base = base_fn(spec).predicted_seconds(model, params)

@@ -18,8 +18,8 @@ from .kernel import (SYNC, AmbiguousKernelBodyError, Dim3, Kernel,
 from .memory import (BANK_WORD_BYTES, BufferArena, DeviceArray, MemoryTracer,
                      SharedMemory, bank_conflict_cycles,
                      bank_conflict_degree, coalesce_transactions)
-from .vectorized import (EXEC_MODES, MODE_REFERENCE, MODE_VECTORIZED,
-                         VectorCtx, VectorTracer)
+from .vectorized import (EXEC_MODES, ExecMode, MODE_REFERENCE,
+                         MODE_VECTORIZED, VectorCtx, VectorTracer)
 
 __all__ = [
     "GPUSpec", "TESLA_C2050", "GTX_285", "GTX_480", "TARGETS",
@@ -31,6 +31,6 @@ __all__ = [
     "DeviceArray", "BufferArena", "SharedMemory", "MemoryTracer",
     "coalesce_transactions", "bank_conflict_degree",
     "bank_conflict_cycles", "BANK_WORD_BYTES",
-    "EXEC_MODES", "MODE_REFERENCE", "MODE_VECTORIZED",
+    "ExecMode", "EXEC_MODES", "MODE_REFERENCE", "MODE_VECTORIZED",
     "VectorCtx", "VectorTracer",
 ]

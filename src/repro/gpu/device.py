@@ -16,7 +16,7 @@ from .arch import GPUSpec, TESLA_C2050
 from .executor import Executor, LaunchStats
 from .kernel import Kernel, LaunchConfig
 from .memory import BufferArena, DeviceArray
-from .vectorized import MODE_REFERENCE
+from .vectorized import ExecMode, MODE_REFERENCE
 
 #: Host-device link bandwidth (PCIe 2.0 x16 effective), GB/s.
 PCIE_BANDWIDTH_GBPS = 6.0
@@ -41,10 +41,10 @@ class Device:
     """One simulated GPU: memory, an executor, and transfer accounting."""
 
     def __init__(self, spec: GPUSpec = TESLA_C2050,
-                 exec_mode: str = MODE_REFERENCE):
+                 exec_mode: ExecMode = MODE_REFERENCE):
         self.spec = spec
-        self.exec_mode = exec_mode
-        self.executor = Executor(spec, default_mode=exec_mode)
+        self.exec_mode = ExecMode.coerce(exec_mode)
+        self.executor = Executor(spec, default_mode=self.exec_mode)
         self.transfers: list[TransferRecord] = []
         self.launch_count = 0
         #: Recycled device allocations (fed by :meth:`scope` reclamation).
@@ -110,11 +110,11 @@ class Device:
     # -- execution ---------------------------------------------------------
     def launch(self, kernel: Kernel, grid, block, args: Dict[str, Any],
                trace: bool = False,
-               mode: Optional[str] = None) -> Optional[LaunchStats]:
+               mode: Optional[ExecMode] = None) -> Optional[LaunchStats]:
         self.launch_count += 1
         return self.executor.launch(
             kernel, LaunchConfig.of(grid, block), args, trace=trace,
-            mode=mode or self.exec_mode)
+            mode=ExecMode.coerce(mode) or self.exec_mode)
 
     # -- accounting ----------------------------------------------------------
     @property

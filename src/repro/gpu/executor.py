@@ -37,8 +37,8 @@ from .arch import GPUSpec
 from .kernel import (Dim3, Kernel, LaunchConfig, ThreadCtx,
                      kernel_uses_barriers)
 from .memory import MemoryTracer, SharedMemory
-from .vectorized import (EXEC_MODES, MODE_REFERENCE, MODE_VECTORIZED,
-                         VectorCtx, VectorTracer)
+from .vectorized import (EXEC_MODES, ExecMode, MODE_REFERENCE,
+                         MODE_VECTORIZED, VectorCtx, VectorTracer)
 
 
 class LaunchError(RuntimeError):
@@ -73,9 +73,10 @@ class LaunchStats:
 class Executor:
     """Runs kernels functionally against a :class:`GPUSpec`'s limits."""
 
-    def __init__(self, spec: GPUSpec, default_mode: str = MODE_REFERENCE):
+    def __init__(self, spec: GPUSpec,
+                 default_mode: ExecMode = MODE_REFERENCE):
         self.spec = spec
-        self.default_mode = default_mode
+        self.default_mode = ExecMode.coerce(default_mode)
         self.reference_launches = 0
         self.vectorized_launches = 0
         self.vector_fallbacks = 0
@@ -92,10 +93,11 @@ class Executor:
         ``default_mode``); the vectorized mode silently falls back to the
         reference interpreter when the kernel has no vector body.
         """
-        mode = mode or self.default_mode
+        mode = ExecMode.coerce(mode) or self.default_mode
         if mode not in EXEC_MODES:
-            raise LaunchError(f"unknown execution mode {mode!r}; "
-                              f"expected one of {EXEC_MODES}")
+            raise LaunchError(
+                f"unknown execution mode {mode!r}; expected one of "
+                f"{[m.value for m in EXEC_MODES]}")
         block = config.block
         grid = config.grid
         if block.count == 0 or grid.count == 0:

@@ -2,6 +2,8 @@
 
 from .breakeven import (DecisionTable, Subrange, Variant, argmin_variant,
                         geometric_points, sweep, sweep_axis)
+from .calibration import (CalibrationStore, FeedbackConfig, Observation,
+                          selection_accuracy, size_bucket)
 from .model import (BLOCK_SCHED_OVERHEAD_CYCLES, KernelCategory,
                     KernelEstimate, KernelWorkload, PerformanceModel)
 
@@ -10,4 +12,6 @@ __all__ = [
     "BLOCK_SCHED_OVERHEAD_CYCLES",
     "Variant", "Subrange", "DecisionTable", "sweep", "sweep_axis",
     "argmin_variant", "geometric_points",
+    "CalibrationStore", "FeedbackConfig", "Observation",
+    "selection_accuracy", "size_bucket",
 ]

@@ -78,6 +78,56 @@ class DecisionTable(Generic[InputT]):
         sub = subs[index]
         return sub.variant if sub.lo <= value <= sub.hi else None
 
+    def patch(self, value: int, winner: str) -> bool:
+        """Repair the table so ``value`` maps to ``winner`` (feedback).
+
+        A measured probe showed ``winner`` beating the table's current
+        choice at ``value`` — the model misplaced a break-even point.
+        When an adjacent subrange already belongs to ``winner``, the
+        boundary between them moves to include ``value`` (the common
+        case); otherwise the containing subrange is split around a point
+        subrange.  Adjacent same-variant subranges are re-merged and
+        emptied ones dropped, so lookup invariants (sorted, disjoint,
+        tiling) survive.  Returns ``False`` when ``value`` is outside
+        the table or already maps to ``winner``.
+        """
+        subs = self.subranges
+        if not subs or value < subs[0].lo or value > subs[-1].hi:
+            return False
+        index = bisect.bisect_right([s.lo for s in subs], value) - 1
+        sub = subs[index]
+        if not (sub.lo <= value <= sub.hi) or sub.variant == winner:
+            return False
+        left = subs[index - 1] if index > 0 else None
+        right = subs[index + 1] if index + 1 < len(subs) else None
+        left_wins = left is not None and left.variant == winner
+        right_wins = right is not None and right.variant == winner
+        if left_wins and (not right_wins
+                          or value - sub.lo <= sub.hi - value):
+            left.hi = value
+            sub.lo = value + 1
+        elif right_wins:
+            right.lo = value
+            sub.hi = value - 1
+        else:
+            subs[index:index + 1] = [
+                Subrange(lo=sub.lo, hi=value - 1, variant=sub.variant),
+                Subrange(lo=value, hi=value, variant=winner),
+                Subrange(lo=value + 1, hi=sub.hi, variant=sub.variant)]
+        self._normalize()
+        return True
+
+    def _normalize(self) -> None:
+        merged: List[Subrange] = []
+        for sub in self.subranges:
+            if sub.lo > sub.hi:
+                continue
+            if merged and merged[-1].variant == sub.variant:
+                merged[-1].hi = sub.hi
+            else:
+                merged.append(sub)
+        self.subranges = merged
+
 
 def geometric_points(lo: float, hi: float, samples: int) -> List[int]:
     """Geometrically spaced integer sample points covering ``[lo, hi]``.

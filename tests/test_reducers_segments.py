@@ -5,7 +5,8 @@ import math
 import numpy as np
 import pytest
 
-from repro.compiler import AdapticCompiler, AdapticOptions, compile_program
+from repro.compiler import (AdapticCompiler, AdapticOptions,
+                            InputLocation, compile_program)
 from repro.compiler.reducers import ArgReducer, ScalarReducer, reducer_for
 from repro.gpu import TESLA_C2050
 from repro.ir import classify, lift_code
@@ -165,8 +166,10 @@ class TestSegmentSelection:
     def test_selection_changes_with_input_on_host(self):
         compiled = self._compiled()
         params = {"n": 8, "r": 1 << 16}
-        host = compiled.select(params, input_on_host=True)[0]
-        device = compiled.select(params, input_on_host=False)[0]
+        host = compiled.select(params,
+                               input_on_host=InputLocation.HOST)[0]
+        device = compiled.select(params,
+                                 input_on_host=InputLocation.DEVICE)[0]
         assert host.strategy.endswith("transposed")
         assert not device.strategy.endswith("transposed")
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro import (AdapticOptions, Filter, GTX_480, Pipeline, StreamProgram,
                    compile_program)
-from repro.compiler import AdapticCompiler
+from repro.compiler import AdapticCompiler, InputLocation
 from repro.gpu import Device, TESLA_C2050
 
 from workloads import SCALE_SRC, SUM_SRC
@@ -122,7 +122,8 @@ class TestDeviceResidentInput:
         params = self._params()
         data = rng.standard_normal(params["n"] * params["r"])
         host = compiled.run(data, params)
-        device = compiled.run(data, params, input_on_host=False)
+        device = compiled.run(data, params,
+                              input_on_host=InputLocation.DEVICE)
         assert host.selections[0].strategy.endswith("transposed")
         assert not device.selections[0].strategy.endswith("transposed")
 
@@ -131,7 +132,8 @@ class TestDeviceResidentInput:
         params = self._params()
         data = rng.standard_normal(params["n"] * params["r"])
         host = compiled.run(data, params)
-        device = compiled.run(data, params, input_on_host=False)
+        device = compiled.run(data, params,
+                              input_on_host=InputLocation.DEVICE)
         np.testing.assert_allclose(device.output, host.output, rtol=1e-9)
 
     def test_canonical_plan_identical_on_both_paths(self, rng):
@@ -146,7 +148,7 @@ class TestDeviceResidentInput:
         force = {seg.name: canonical.strategy}
         host = compiled.run(data, params, force=force)
         device = compiled.run(data, params, force=force,
-                              input_on_host=False)
+                              input_on_host=InputLocation.DEVICE)
         np.testing.assert_array_equal(host.output, device.output)
 
 
