@@ -32,6 +32,10 @@ from . import api
 from .compiler import (AdapticCompiler, AdapticOptions, CompiledProgram,
                        CompileError, InputLocation, RunResult,
                        compile_program)
+from .errors import (CalibrationError, KernelExecutionError,
+                     KernelTimeoutError, ModelSweepError, ReproError,
+                     SelectionError, TransferError)
+from .faults import FaultInjector, FaultPlan
 from .gpu import (Device, ExecMode, GTX_285, GTX_480, GPUSpec, Kernel,
                   LaunchConfig, TESLA_C2050, get_target)
 from .perfmodel import (CalibrationStore, FeedbackConfig, KernelCategory,
@@ -52,6 +56,10 @@ __all__ = [
     "CompiledProgram", "CompileError", "RunResult",
     # runtime enums / feedback
     "ExecMode", "InputLocation", "CalibrationStore", "FeedbackConfig",
+    # robustness: error taxonomy + fault injection
+    "ReproError", "SelectionError", "KernelExecutionError",
+    "KernelTimeoutError", "TransferError", "CalibrationError",
+    "ModelSweepError", "FaultInjector", "FaultPlan",
     # GPU targets / substrate
     "GPUSpec", "TESLA_C2050", "GTX_285", "GTX_480", "get_target", "Device",
     "Kernel",

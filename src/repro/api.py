@@ -28,6 +28,10 @@ from .compiler import AdapticCompiler, AdapticOptions, CompileError
 from .compiler.runtime import (CompiledProgram, InputLocation, RunResult,
                                SegmentExecution)
 from .compiler.stats import SelectionStats
+from .errors import (CalibrationError, KernelExecutionError,
+                     KernelTimeoutError, ModelSweepError, ReproError,
+                     SelectionError, TransferError)
+from .faults import FaultInjector, FaultPlan
 from .gpu import (Device, ExecMode, GPUSpec, GTX_285, GTX_480, TARGETS,
                   TESLA_C2050, get_target)
 from .perfmodel import (CalibrationStore, FeedbackConfig, Observation,
@@ -39,6 +43,10 @@ __all__ = [
     "AdapticOptions", "CompileError", "CompiledProgram", "RunResult",
     "SegmentExecution", "SelectionStats",
     "ExecMode", "InputLocation", "Device",
+    "ReproError", "SelectionError", "KernelExecutionError",
+    "KernelTimeoutError", "TransferError", "CalibrationError",
+    "ModelSweepError",
+    "FaultInjector", "FaultPlan",
     "CalibrationStore", "FeedbackConfig", "Observation",
     "selection_accuracy", "size_bucket",
     "GPUSpec", "TESLA_C2050", "GTX_285", "GTX_480", "TARGETS", "get_target",

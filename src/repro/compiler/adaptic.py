@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import CompileError
 from ..gpu import GPUSpec, TESLA_C2050
 from ..ir import classify, nodes as N
 from ..ir.rates import RateExpr
@@ -52,10 +53,6 @@ from .segments import Segment
 CANONICAL_LAYOUTS = {LAYOUT_INTERLEAVED, LAYOUT_ROWS}
 
 
-class CompileError(ValueError):
-    """The program cannot be compiled for the GPU."""
-
-
 @dataclasses.dataclass
 class AdapticOptions:
     """Optimization-group switches (Figure 11's cumulative bars)."""
@@ -66,6 +63,9 @@ class AdapticOptions:
     threads: int = 256
     prune: bool = False
     range_samples: int = 6
+    #: Optional :class:`~repro.faults.FaultInjector` threaded into the
+    #: compiled program's runtime and devices (testing/chaos drills).
+    faults: object = None
 
     @staticmethod
     def baseline() -> "AdapticOptions":

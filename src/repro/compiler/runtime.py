@@ -33,6 +33,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..errors import (CompileError, KernelExecutionError, KernelTimeoutError,
+                      ModelSweepError, ReproError, SelectionError)
+from ..faults import KIND_NAN, KIND_RAISE, KIND_TIMEOUT
 from ..gpu import Device, EXEC_MODES, ExecMode, GPUSpec, MODE_REFERENCE, \
     PCIE_BANDWIDTH_GBPS
 from ..perfmodel import CalibrationStore, FeedbackConfig, PerformanceModel, \
@@ -134,7 +137,9 @@ class RunResult:
         for sel in self.selections:
             if sel.segment == segment:
                 return sel.strategy
-        raise KeyError(segment)
+        raise SelectionError(
+            f"no segment {segment!r} in this run; executed segments: "
+            f"{[sel.segment for sel in self.selections]}", segment=segment)
 
 
 class CompiledProgram:
@@ -166,6 +171,17 @@ class CompiledProgram:
         self.calibration = CalibrationStore()
         #: Policy for the feedback loop (margin, probe budget, observer).
         self.feedback = FeedbackConfig()
+        #: Optional :class:`~repro.faults.FaultInjector` (from
+        #: ``options.faults``) consulted around every segment execution
+        #: and threaded into program-owned devices.
+        self.faults = getattr(options, "faults", None)
+        #: Exec mode used when neither ``run()`` nor ``run_many()`` names
+        #: one; owned devices *and* batch worker devices honor it, so both
+        #: paths run the same executor by construction.
+        self.default_exec_mode = MODE_REFERENCE
+        #: Serializes quarantine + re-selection during failure recovery
+        #: (the cost cache and calibration store are unsynchronized).
+        self._quarantine_lock = threading.Lock()
 
     @property
     def stats(self) -> SelectionStats:
@@ -180,11 +196,24 @@ class CompiledProgram:
     # ------------------------------------------------------------------
     # Selection
     # ------------------------------------------------------------------
-    def _eligible(self, segment: Segment, from_host: bool) -> List[KernelPlan]:
+    def _eligible(self, segment: Segment, from_host: bool,
+                  params: Optional[Dict[str, float]] = None
+                  ) -> List[KernelPlan]:
         if from_host:
-            return segment.plans
-        plans = [p for p in segment.plans if p.input_layout in _CANONICAL]
-        return plans or segment.plans
+            plans = segment.plans
+        else:
+            canonical = [p for p in segment.plans
+                         if p.input_layout in _CANONICAL]
+            plans = canonical or segment.plans
+        if params is not None and self.calibration.has_quarantines():
+            bucket = size_bucket(params)
+            healthy = [p for p in plans
+                       if not self.calibration.is_quarantined(p.strategy,
+                                                              bucket)]
+            # All-quarantined: serve the unfiltered list as a last resort
+            # rather than failing selection outright.
+            plans = healthy or plans
+        return plans
 
     def _selection_cost(self):
         """Cost view dispatch decisions use: calibrated iff feedback has
@@ -218,6 +247,8 @@ class CompiledProgram:
         cost = self._selection_cost()
         chosen: List[KernelPlan] = []
         from_host = InputLocation.coerce(input_on_host).on_host
+        quarantined = self.calibration.has_quarantines()
+        bucket = size_bucket(params) if quarantined else None
         for segment in self.segments:
             if segment.name in force:
                 plan = segment.plan_named(force[segment.name])
@@ -226,13 +257,17 @@ class CompiledProgram:
                 plan = None
                 if segment.dispatch is not None:
                     winner = segment.dispatch.lookup(params, from_host)
+                    if (winner is not None and quarantined
+                            and self.calibration.is_quarantined(winner,
+                                                                bucket)):
+                        winner = None   # baked winner is quarantined
                     if winner is not None:
                         plan = segment.plan_named(winner)
                         stats.table_hits += 1
                 if plan is None:
                     if segment.dispatch is not None:
                         stats.table_fallbacks += 1
-                    eligible = self._eligible(segment, from_host)
+                    eligible = self._eligible(segment, from_host, params)
                     plan = segment.best_plan(cost, params,
                                              plans=eligible)
             chosen.append(plan)
@@ -293,11 +328,12 @@ class CompiledProgram:
             if exec_mode is not None:
                 device.exec_mode = exec_mode
             return device
-        mode = exec_mode or MODE_REFERENCE
+        mode = exec_mode or self.default_exec_mode
         with self._device_lock:
             owned = self._run_devices.get(mode)
             if owned is None:
-                owned = Device(self.spec, exec_mode=mode)
+                owned = Device(self.spec, exec_mode=mode,
+                               fault_injector=self.faults)
                 self._run_devices[mode] = owned
         return owned
 
@@ -343,36 +379,54 @@ class CompiledProgram:
         exec_compile_before = COMPILE_COUNTER.snapshot()
         selections: List[SegmentExecution] = []
         predicted = 0.0
-        with device.scope():
-            buf = None
-            for index, (segment, plan) in enumerate(
-                    zip(self.segments, plans)):
-                if index == 0:
-                    staged = host_input
-                    if input_on_host:
+        try:
+            with device.scope():
+                buf = None
+                for index, (segment, plan) in enumerate(
+                        zip(self.segments, plans)):
+                    if index == 0:
+                        staged = host_input
+                        if input_on_host:
+                            t = time.perf_counter()
+                            staged = plan.restructure_input(host_input,
+                                                            params)
+                            stage["restructure"] = time.perf_counter() - t
                         t = time.perf_counter()
-                        staged = plan.restructure_input(host_input, params)
-                        stage["restructure"] = time.perf_counter() - t
+                        buf = device.to_device(staged,
+                                               name=f"{segment.name}.in")
+                        stage["h2d"] = time.perf_counter() - t
+                    if plan_costs is not None:
+                        seconds = plan_costs[id(plan)]
+                    else:
+                        seconds = self.cost.plan_seconds(plan, params)
+                    predicted += seconds
                     t = time.perf_counter()
-                    buf = device.to_device(staged, name=f"{segment.name}.in")
-                    stage["h2d"] = time.perf_counter() - t
-                if plan_costs is not None:
-                    seconds = plan_costs[id(plan)]
-                else:
-                    seconds = self.cost.plan_seconds(plan, params)
-                predicted += seconds
+                    buf = self._execute_segment(segment, plan, index,
+                                                device, buf, params)
+                    plan_wall = time.perf_counter() - t
+                    stage["kernel"] += plan_wall
+                    selections.append(SegmentExecution(
+                        segment=segment.name, kind=segment.kind,
+                        strategy=plan.strategy, predicted_seconds=seconds,
+                        optimizations=list(plan.optimizations),
+                        measured_seconds=plan_wall))
                 t = time.perf_counter()
-                buf = plan.execute(device, {IN: buf}, params)
-                plan_wall = time.perf_counter() - t
-                stage["kernel"] += plan_wall
-                selections.append(SegmentExecution(
-                    segment=segment.name, kind=segment.kind,
-                    strategy=plan.strategy, predicted_seconds=seconds,
-                    optimizations=list(plan.optimizations),
-                    measured_seconds=plan_wall))
-            t = time.perf_counter()
-            output = device.to_host(buf)
-            stage["d2h"] = time.perf_counter() - t
+                output = device.to_host(buf)
+                stage["d2h"] = time.perf_counter() - t
+        except KernelExecutionError as exc:
+            # The scope above already released every buffer; attach the
+            # failed attempt's counters so callers (guarded retry, the
+            # batched runner) can account for partial work faithfully.
+            failed_compiled = COMPILE_COUNTER.since(compile_before)
+            failed_rebuilt = RESTRUCTURE_COUNTER.since(restructure_before)
+            exc.stats_delta = SelectionStats(
+                expr_compiles=failed_compiled.total,
+                restructure_builds=failed_rebuilt.perm_builds,
+                restructure_seconds=stage["restructure"],
+                h2d_seconds=stage["h2d"], kernel_seconds=stage["kernel"],
+                d2h_seconds=stage["d2h"],
+                compile_seconds=failed_compiled.seconds)
+            raise
         compiled = COMPILE_COUNTER.since(compile_before)
         in_execute = COMPILE_COUNTER.since(exec_compile_before)
         rebuilt = RESTRUCTURE_COUNTER.since(restructure_before)
@@ -391,6 +445,165 @@ class CompiledProgram:
                            transfer_seconds=self.transfer_seconds(params),
                            stage_seconds=stage)
         return result, delta
+
+    def _execute_segment(self, segment: Segment, plan: KernelPlan,
+                         index: int, device: Device, buf,
+                         params: Dict[str, float]):
+        """One segment's ``plan.execute`` with fault injection + wrapping.
+
+        Every failure leaves here as a :class:`KernelExecutionError`
+        carrying the segment name, strategy tag, scalar params and the
+        segment's chain position — the context
+        :meth:`_recover_segment` needs to quarantine and re-select.
+        With no injector configured this adds one ``None`` check to the
+        hot path and nothing else.
+        """
+        injector = self.faults
+        fault = injector.on_execute(plan) if injector is not None else None
+        if fault is not None and fault.kind != KIND_NAN:
+            cls = (KernelTimeoutError if fault.kind == KIND_TIMEOUT
+                   else KernelExecutionError)
+            raise cls(
+                f"injected {fault.kind} fault in plan {plan.strategy!r}",
+                injected=True, kind=fault.kind, segment=segment.name,
+                plan=plan.strategy, params=dict(freeze_scalars(params)),
+                segment_index=index)
+        try:
+            out = plan.execute(device, {IN: buf}, params)
+        except KernelExecutionError as exc:
+            # Launch-scope injected faults and executor-level failures
+            # (LaunchError, BarrierDivergenceError) arrive pre-typed;
+            # fill in whatever context they are missing.
+            if exc.segment is None:
+                exc.segment = segment.name
+            if exc.plan is None:
+                exc.plan = plan.strategy
+            if exc.params is None:
+                exc.params = dict(freeze_scalars(params))
+            if exc.segment_index is None:
+                exc.segment_index = index
+            raise
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise KernelExecutionError(
+                f"plan {plan.strategy!r} failed in segment "
+                f"{segment.name!r}: {exc}", segment=segment.name,
+                plan=plan.strategy, params=dict(freeze_scalars(params)),
+                kind="crash", segment_index=index) from exc
+        if fault is not None:          # KIND_NAN: poison the output
+            data = getattr(out, "data", None)
+            if (isinstance(data, np.ndarray)
+                    and np.issubdtype(data.dtype, np.floating)):
+                data.fill(np.nan)
+        if injector is not None:
+            # Output poisoning is only detectable by looking; the check
+            # runs solely when an injector is installed, so uninjected
+            # serving pays nothing for it.
+            data = getattr(out, "data", None)
+            if (isinstance(data, np.ndarray)
+                    and np.issubdtype(data.dtype, np.floating)
+                    and np.isnan(data).any()):
+                raise KernelExecutionError(
+                    f"NaN output from plan {plan.strategy!r} in segment "
+                    f"{segment.name!r}", injected=fault is not None,
+                    kind=KIND_NAN, segment=segment.name,
+                    plan=plan.strategy,
+                    params=dict(freeze_scalars(params)),
+                    segment_index=index)
+        return out
+
+    def _recover_segment(self, exc: KernelExecutionError,
+                         params: Dict[str, float],
+                         plans: List[KernelPlan], input_on_host: bool):
+        """Quarantine the failed variant and re-select its segment.
+
+        Returns ``(new_plans, replacement, seconds, newly_quarantined)``
+        or ``None`` when the failure is terminal: the error carries no
+        segment position, or the failed variant is the segment's last
+        non-quarantined option (the last variant is never quarantined —
+        serving something beats serving nothing).
+        """
+        index = exc.segment_index
+        if index is None or not 0 <= index < len(self.segments):
+            return None
+        segment = self.segments[index]
+        failed = plans[index]
+        bucket = size_bucket(params)
+        store = self.calibration
+        with self._quarantine_lock:
+            seg_from_host = input_on_host and index == 0
+            eligible = self._eligible(segment, seg_from_host)
+            remaining = [p for p in eligible
+                         if p is not failed
+                         and not store.is_quarantined(p.strategy, bucket)]
+            if not remaining:
+                return None
+            newly = store.quarantine(
+                failed.strategy, bucket,
+                reason=exc.kind or type(exc).__name__)
+            try:
+                replacement = segment.best_plan(self._selection_cost(),
+                                                params, plans=remaining)
+                seconds = self.cost.plan_seconds(replacement, params)
+            except SelectionError:
+                return None
+        new_plans = list(plans)
+        new_plans[index] = replacement
+        return new_plans, replacement, seconds, newly
+
+    def _execute_guarded(self, host_input: np.ndarray,
+                         params: Dict[str, float],
+                         plans: List[KernelPlan], device: Device,
+                         input_on_host: bool,
+                         plan_costs: Optional[Dict[int, float]] = None,
+                         compile_before=None, restructure_before=None):
+        """Retry-then-degrade wrapper around :meth:`_execute_plans`.
+
+        On a variant failure the failed (strategy, size-bucket) pair is
+        quarantined, the segment re-selected among the survivors, and the
+        chain re-run (the failed attempt's scope already released its
+        buffers, so retries recycle them).  Terminal failures re-raise
+        with the accumulated counters on ``exc.stats_delta``.  Returns
+        ``(result, delta, plans, plan_costs)`` where ``plans`` /
+        ``plan_costs`` reflect any degraded substitution so callers can
+        refresh their cached selection.
+        """
+        recovery: Optional[SelectionStats] = None
+        while True:
+            try:
+                result, delta = self._execute_plans(
+                    host_input, params, plans, device, input_on_host,
+                    plan_costs, compile_before, restructure_before)
+            except KernelExecutionError as exc:
+                if recovery is None:
+                    recovery = SelectionStats()
+                partial = getattr(exc, "stats_delta", None)
+                if partial is not None:
+                    recovery.merge(partial)
+                if exc.injected:
+                    recovery.faults_injected += 1
+                recovered = self._recover_segment(exc, params, plans,
+                                                  input_on_host)
+                if recovered is None:
+                    exc.stats_delta = recovery
+                    raise
+                plans, replacement, seconds, newly = recovered
+                if plan_costs is not None:
+                    plan_costs = dict(plan_costs)
+                    plan_costs[id(replacement)] = seconds
+                recovery.retries += 1
+                if newly:
+                    recovery.quarantines += 1
+                # Fresh counter windows per attempt: the failed attempt's
+                # compiles/stage times are already in ``recovery``.
+                compile_before = None
+                restructure_before = None
+                continue
+            if recovery is not None:
+                recovery.degraded_runs = 1
+                delta.merge(recovery)
+            return result, delta, plans, plan_costs
 
     def run(self, host_input: np.ndarray, params: Dict[str, float], *,
             device: Optional[Device] = None,
@@ -437,10 +650,16 @@ class CompiledProgram:
         started = time.perf_counter()
         plans = self.select(params, force, input_on_host=location)
         select_seconds = time.perf_counter() - started
-        result, delta = self._execute_plans(
-            host_input, params, plans, device, location.on_host,
-            compile_before=compile_before,
-            restructure_before=restructure_before)
+        try:
+            result, delta, plans, _ = self._execute_guarded(
+                host_input, params, plans, device, location.on_host,
+                compile_before=compile_before,
+                restructure_before=restructure_before)
+        except KernelExecutionError as exc:
+            partial = getattr(exc, "stats_delta", None)
+            if partial is not None:
+                self.stats.merge(partial)
+            raise
         result.stage_seconds["select"] = select_seconds
         self.stats.merge(delta)
         if feedback:
@@ -528,17 +747,22 @@ class CompiledProgram:
                                for plan in plans}
 
         local = threading.local()
+        refresh_lock = threading.Lock()
 
         def worker_device() -> Device:
             device = getattr(local, "device", None)
             if device is None:
+                # Workers inherit the program's default exec mode, so a
+                # threaded batch runs the same executor as the serial
+                # path (this used to hardcode the reference interpreter).
                 device = Device(
                     self.spec,
-                    exec_mode=exec_mode if exec_mode else MODE_REFERENCE)
+                    exec_mode=exec_mode or self.default_exec_mode,
+                    fault_injector=self.faults)
                 local.device = device
             return device
 
-        def job(index: int) -> Tuple[int, RunResult, SelectionStats]:
+        def job(index: int) -> Tuple[RunResult, SelectionStats]:
             params = params_list[index]
             key = freeze_scalars(params)
             host_input = self._validate_input(inputs[index], params)
@@ -546,27 +770,66 @@ class CompiledProgram:
                 device = self._resolve_device(None, exec_mode)
             else:
                 device = worker_device()
-            result, delta = self._execute_plans(
-                host_input, params, selections[key], device,
+            job_plans = selections[key]
+            result, delta, used_plans, used_costs = self._execute_guarded(
+                host_input, params, job_plans, device,
                 location.on_host, plan_costs[key])
+            if used_plans is not job_plans:
+                # The item degraded onto a replacement variant; later
+                # items at the same binding start from the new selection
+                # instead of re-tripping over the quarantined one.
+                with refresh_lock:
+                    selections[key] = used_plans
+                    plan_costs[key] = used_costs
             result.stage_seconds["select"] = 0.0
-            return index, result, delta
+            return result, delta
 
         results: List[Optional[RunResult]] = [None] * len(inputs)
+        errors: List[Optional[BaseException]] = [None] * len(inputs)
         deltas: List[SelectionStats] = []
-        if workers <= 1:
-            for index in range(len(inputs)):
-                _, result, delta = job(index)
+
+        def run_one(index: int) -> None:
+            # Per-item capture: one failing item must not discard the
+            # completed items' results or their counters (pool.map's
+            # first-exception propagation used to abort the whole batch).
+            try:
+                result, delta = job(index)
+            except Exception as exc:
+                partial = getattr(exc, "stats_delta", None)
+                if partial is not None:
+                    deltas.append(partial)
+                errors[index] = exc
+            else:
                 results[index] = result
                 deltas.append(delta)
+
+        if workers <= 1:
+            for index in range(len(inputs)):
+                run_one(index)
         else:
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                for index, result, delta in pool.map(job,
-                                                     range(len(inputs))):
-                    results[index] = result
-                    deltas.append(delta)
+                futures = [pool.submit(run_one, index)
+                           for index in range(len(inputs))]
+                for future in futures:
+                    future.result()
         for delta in deltas:
             self.stats.merge(delta)
+        failed = [i for i, e in enumerate(errors) if e is not None]
+        if failed:
+            first = errors[failed[0]]
+            if not isinstance(first, KernelExecutionError):
+                wrapped = KernelExecutionError(
+                    f"batch item {failed[0]} failed: {first}",
+                    batch_index=failed[0])
+                wrapped.__cause__ = first
+                first = wrapped
+            if first.batch_index is None:
+                first.batch_index = failed[0]
+            #: index -> exception for every failed item; completed items
+            #: keep their results in ``partial_results``.
+            first.batch_errors = {i: errors[i] for i in failed}
+            first.partial_results = results
+            raise first
         if feedback:
             config = (feedback if isinstance(feedback, FeedbackConfig)
                       else self.feedback)
@@ -703,7 +966,7 @@ class CompiledProgram:
             fold(segment, plan, observed)
             if len(segment.plans) < 2:
                 continue
-            eligible = self._eligible(segment, seg_from_host)
+            eligible = self._eligible(segment, seg_from_host, params)
             cost = self._selection_cost()
             ranked = sorted(
                 (p for p in eligible if p is not plan),
@@ -782,6 +1045,23 @@ class CompiledProgram:
             return True
         return False
 
+    def _sweep_cost(self, cost, plan: KernelPlan,
+                    params: Dict[str, float]) -> float:
+        """Cost query inside an axis sweep, with sizing errors typed.
+
+        A :class:`CompileError` here means the plan cannot be sized at
+        this sampled point (e.g. the point violates the program's
+        steady-state schedule) — a legitimate "axis not sweepable"
+        signal, translated to :class:`ModelSweepError` so the bakers can
+        catch exactly that and nothing else.
+        """
+        try:
+            return cost.plan_seconds(plan, params)
+        except CompileError as exc:
+            raise ModelSweepError(str(exc), plan=plan.strategy,
+                                  params=dict(freeze_scalars(params))
+                                  ) from exc
+
     def _rebake_dispatch(self, segment: Segment) -> bool:
         """Re-sweep one segment's baked table under calibrated costs."""
         dispatch = segment.dispatch
@@ -792,15 +1072,20 @@ class CompiledProgram:
         eligible = self._eligible(segment, dispatch.from_host)
         variants = [
             Variant(plan.strategy,
-                    lambda v, plan=plan: cost.plan_seconds(
-                        plan, {**base, dispatch.axis: int(v)}))
+                    lambda v, plan=plan: self._sweep_cost(
+                        cost, plan, {**base, dispatch.axis: int(v)}))
             for plan in eligible
         ]
         with self.cost.compile_scope():
             try:
                 table = sweep_axis(variants, dispatch.lo, dispatch.hi,
                                    samples=dispatch.samples, refine=True)
-            except Exception:
+            except ModelSweepError:
+                # The calibrated sweep is infeasible; the stale table is
+                # dropped so selection falls back to exact model-argmin.
+                # Anything else (a buggy cost model, a typo) propagates.
+                self.stats.sweep_failures += 1
+                segment.dispatch = None
                 return False
         segment.dispatch = SegmentDispatch(
             axis=dispatch.axis, lo=int(table.subranges[0].lo),
@@ -906,17 +1191,21 @@ class CompiledProgram:
                     variants = [
                         Variant(plan.strategy,
                                 lambda v, plan=plan, axis=axis:
-                                cost.plan_seconds(
-                                    plan, {**base, axis: int(v)}))
+                                self._sweep_cost(
+                                    cost, plan, {**base, axis: int(v)}))
                         for plan in eligible
                     ]
                     try:
                         table = sweep_axis(variants, lo, hi,
                                            samples=samples, refine=refine)
-                    except Exception:
+                    except ModelSweepError:
                         # A segment the model cannot sweep over this axis
                         # (e.g. sizes that violate its schedule) simply
-                        # keeps the exact model-argmin path.
+                        # keeps the exact model-argmin path.  Only the
+                        # typed sweep-infeasibility error is treated this
+                        # way — a typo-level bug in a cost model now
+                        # propagates instead of silently erasing a table.
+                        self.stats.sweep_failures += 1
                         segment.dispatch = None
                         from_host = False
                         continue

@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..errors import SelectionError
 from ..perfmodel import DecisionTable, PerformanceModel, Variant, sweep
 from .plans.base import KernelPlan, freeze_scalars
 from .stats import cost_fn
@@ -105,7 +106,8 @@ class Segment:
         """
         candidates = self.plans if plans is None else list(plans)
         if not candidates:
-            raise RuntimeError(f"segment {self.name!r} has no plans")
+            raise SelectionError(f"segment {self.name!r} has no plans",
+                                 segment=self.name)
         cost = cost_fn(model)
         best, best_time = None, math.inf
         costs: Dict[str, float] = {}
@@ -116,10 +118,10 @@ class Segment:
                 best, best_time = plan, t
         if best is None:
             scalars = dict(freeze_scalars(params))
-            raise RuntimeError(
+            raise SelectionError(
                 f"segment {self.name!r} has no runnable variant at params "
                 f"{scalars}: all predicted costs are non-finite "
-                f"({costs})")
+                f"({costs})", segment=self.name, params=scalars)
         return best
 
     def plan_named(self, strategy: str) -> KernelPlan:
@@ -131,9 +133,10 @@ class Segment:
             hint = ("; it was removed by prune_variants() — pass "
                     "keep={" f"{self.name!r}: [{strategy!r}]" "} to retain "
                     "force-able variants")
-        raise KeyError(
+        raise SelectionError(
             f"segment {self.name!r} has no variant {strategy!r}; "
-            f"available: {[p.strategy for p in self.plans]}{hint}")
+            f"available: {[p.strategy for p in self.plans]}{hint}",
+            segment=self.name, plan=strategy)
 
     def decision_table(self, model: PerformanceModel,
                        points: List[Dict[str, float]],

@@ -67,6 +67,16 @@ class SelectionStats:
     table_patches: int = 0
     #: Dispatch tables re-swept after a large calibration-factor change.
     table_rebakes: int = 0
+    #: Faults fired by a configured :class:`~repro.faults.FaultInjector`.
+    faults_injected: int = 0
+    #: Segment executions retried after a variant failure.
+    retries: int = 0
+    #: (plan, size-bucket) pairs quarantined after a failure.
+    quarantines: int = 0
+    #: Runs that completed on a non-primary variant after a failure.
+    degraded_runs: int = 0
+    #: Decision-table bakes skipped because the axis sweep was infeasible.
+    sweep_failures: int = 0
 
     @property
     def runtime_evals(self) -> int:
@@ -118,7 +128,8 @@ class SelectionStats:
                 f" probes={self.probe_runs}"
                 f" mispredicts={self.mispredicts}"
                 f" patches={self.table_patches}"
-                f" rebakes={self.table_rebakes}")
+                f" rebakes={self.table_rebakes}"
+                f" sweep_failures={self.sweep_failures}")
 
     def stage_summary(self) -> str:
         """One-line per-stage wall-clock aggregate over all runs."""
@@ -128,8 +139,13 @@ class SelectionStats:
                   ("kernel", self.kernel_seconds),
                   ("d2h", self.d2h_seconds),
                   ("compile", self.compile_seconds)]
-        return " ".join(f"{name}={seconds * 1e6:.0f}us"
-                        for name, seconds in stages)
+        timings = " ".join(f"{name}={seconds * 1e6:.0f}us"
+                           for name, seconds in stages)
+        robustness = (f" faults={self.faults_injected}"
+                      f" retries={self.retries}"
+                      f" quarantines={self.quarantines}"
+                      f" degraded={self.degraded_runs}")
+        return timings + robustness
 
 
 class CostCache:

@@ -12,6 +12,8 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from ..errors import KernelExecutionError, KernelTimeoutError, TransferError
+from ..faults import KIND_NAN, KIND_TIMEOUT
 from .arch import GPUSpec, TESLA_C2050
 from .executor import Executor, LaunchStats
 from .kernel import Kernel, LaunchConfig
@@ -41,12 +43,16 @@ class Device:
     """One simulated GPU: memory, an executor, and transfer accounting."""
 
     def __init__(self, spec: GPUSpec = TESLA_C2050,
-                 exec_mode: ExecMode = MODE_REFERENCE):
+                 exec_mode: ExecMode = MODE_REFERENCE,
+                 fault_injector=None):
         self.spec = spec
         self.exec_mode = ExecMode.coerce(exec_mode)
         self.executor = Executor(spec, default_mode=self.exec_mode)
         self.transfers: list[TransferRecord] = []
         self.launch_count = 0
+        #: Optional :class:`~repro.faults.FaultInjector` consulted per
+        #: launch (launch-scope, ``kernel=`` rules only).
+        self.fault_injector = fault_injector
         #: Recycled device allocations (fed by :meth:`scope` reclamation).
         self.arena = BufferArena()
         self._scopes: List[List[DeviceArray]] = []
@@ -83,9 +89,13 @@ class Device:
         Always copies — a device buffer aliasing the caller's host array
         would let kernel stores mutate user input in place.
         """
-        flat = np.ascontiguousarray(data).reshape(-1)
-        array = self.arena.acquire(flat.size, flat.dtype, name)
-        np.copyto(array.data, flat)
+        try:
+            flat = np.ascontiguousarray(data).reshape(-1)
+            array = self.arena.acquire(flat.size, flat.dtype, name)
+            np.copyto(array.data, flat)
+        except (TypeError, ValueError, MemoryError) as exc:
+            raise TransferError(f"host-to-device copy of {name!r} failed: "
+                                f"{exc}", kind="h2d") from exc
         self.transfers.append(TransferRecord("h2d", array.data.nbytes))
         return self._track(array)
 
@@ -105,16 +115,43 @@ class Device:
     def to_host(self, array: DeviceArray) -> np.ndarray:
         """Device-to-host copy."""
         self.transfers.append(TransferRecord("d2h", array.data.nbytes))
-        return array.to_host()
+        try:
+            return array.to_host()
+        except (TypeError, ValueError, MemoryError) as exc:
+            raise TransferError(f"device-to-host copy of {array.name!r} "
+                                f"failed: {exc}", kind="d2h") from exc
 
     # -- execution ---------------------------------------------------------
     def launch(self, kernel: Kernel, grid, block, args: Dict[str, Any],
                trace: bool = False,
                mode: Optional[ExecMode] = None) -> Optional[LaunchStats]:
         self.launch_count += 1
-        return self.executor.launch(
+        stats = self.executor.launch(
             kernel, LaunchConfig.of(grid, block), args, trace=trace,
             mode=ExecMode.coerce(mode) or self.exec_mode)
+        if self.fault_injector is not None:
+            fault = self.fault_injector.on_launch(kernel.name)
+            if fault is not None:
+                self._apply_launch_fault(fault, kernel, args)
+        return stats
+
+    def _apply_launch_fault(self, fault, kernel: Kernel,
+                            args: Dict[str, Any]) -> None:
+        """Apply a launch-scope injected fault after the real launch ran."""
+        if fault.kind == KIND_TIMEOUT:
+            raise KernelTimeoutError(
+                f"injected timeout in kernel {kernel.name!r}",
+                injected=True, kind=fault.kind)
+        if fault.kind == KIND_NAN:
+            for value in args.values():
+                data = getattr(value, "data", None)
+                if (isinstance(data, np.ndarray)
+                        and np.issubdtype(data.dtype, np.floating)):
+                    data.fill(np.nan)
+            return
+        raise KernelExecutionError(
+            f"injected fault in kernel {kernel.name!r}",
+            injected=True, kind=fault.kind)
 
     # -- accounting ----------------------------------------------------------
     @property

@@ -33,6 +33,7 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
+from ..errors import KernelExecutionError
 from .arch import GPUSpec
 from .kernel import (Dim3, Kernel, LaunchConfig, ThreadCtx,
                      kernel_uses_barriers)
@@ -41,11 +42,11 @@ from .vectorized import (EXEC_MODES, ExecMode, MODE_REFERENCE,
                          MODE_VECTORIZED, VectorCtx, VectorTracer)
 
 
-class LaunchError(RuntimeError):
+class LaunchError(KernelExecutionError):
     """Invalid launch configuration (e.g. block larger than the target allows)."""
 
 
-class BarrierDivergenceError(RuntimeError):
+class BarrierDivergenceError(KernelExecutionError):
     """Some threads of a block reached ``__syncthreads`` and others exited."""
 
 

@@ -18,6 +18,8 @@ import math
 from typing import Callable, Dict, Generic, Hashable, List, Optional, \
     Sequence, Tuple, TypeVar
 
+from ..errors import ModelSweepError
+
 InputT = TypeVar("InputT", bound=Hashable)
 
 
@@ -138,7 +140,7 @@ def geometric_points(lo: float, hi: float, samples: int) -> List[int]:
     the number of distinct integers) or when the bounds are non-integral.
     """
     if lo <= 0 or hi < lo:
-        raise ValueError(f"invalid range [{lo}, {hi}]")
+        raise ModelSweepError(f"invalid range [{lo}, {hi}]")
     lo_i, hi_i = math.ceil(lo), math.floor(hi)
     if hi_i < lo_i:
         # The range contains no integer; collapse to the nearest one.
@@ -163,7 +165,7 @@ def sweep(variants: Sequence[Variant],
         times[point] = per
         finite = {name: t for name, t in per.items() if math.isfinite(t)}
         if not finite:
-            raise ValueError(f"no variant can run at input {point!r}")
+            raise ModelSweepError(f"no variant can run at input {point!r}")
         choices[point] = min(finite, key=finite.get)
 
     subranges: List[Subrange] = []
@@ -249,5 +251,5 @@ def argmin_variant(variants: Sequence[Variant], point) -> Variant:
         if t < best_time:
             best, best_time = variant, t
     if best is None:
-        raise ValueError(f"no variant can run at input {point!r}")
+        raise ModelSweepError(f"no variant can run at input {point!r}")
     return best

@@ -29,6 +29,8 @@ import json
 import math
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from ..errors import CalibrationError
+
 #: Raw observation records kept per ``(variant, scalars, bucket)`` key.
 OBSERVATION_WINDOW = 32
 
@@ -133,6 +135,9 @@ class CalibrationStore:
       model calibrates exactly like a genuinely wrong one.
     * **probes** — per ``(segment, bucket)`` count of re-selection
       probes spent, bounding the cost of mispredict recovery.
+    * **quarantines** — per ``(strategy, bucket)`` variants the runtime
+      has benched after an execution failure; selection skips them until
+      a cold start (:meth:`reset`) lifts the quarantine.
     """
 
     def __init__(self):
@@ -140,6 +145,7 @@ class CalibrationStore:
         self._bias: Dict[str, float] = {}
         self._probes: Dict[Tuple[str, int], int] = {}
         self._observations: Dict[tuple, Deque[Observation]] = {}
+        self._quarantined: Dict[Tuple[str, int], str] = {}
         #: Total feedback observations recorded (drives epsilon probes).
         self.total_observations = 0
 
@@ -238,13 +244,45 @@ class CalibrationStore:
         key = (segment, bucket)
         self._probes[key] = self._probes.get(key, 0) + 1
 
+    # -- quarantine ------------------------------------------------------
+    def quarantine(self, strategy: str, bucket: int,
+                   reason: str = "") -> bool:
+        """Bench one variant at one size bucket after an execution failure.
+
+        Returns ``True`` when the variant was newly quarantined (the
+        runtime's ``quarantines`` counter increments only then).
+        Quarantine is keyed by strategy tag — the same identity dispatch
+        tables store — and scoped per size bucket, so a variant that only
+        fails at large shapes keeps serving small ones.
+        """
+        key = (strategy, int(bucket))
+        if key in self._quarantined:
+            return False
+        self._quarantined[key] = reason
+        return True
+
+    def is_quarantined(self, strategy: str, bucket: int) -> bool:
+        return (strategy, int(bucket)) in self._quarantined
+
+    def has_quarantines(self) -> bool:
+        """Cheap guard so quarantine-free selection stays zero-overhead."""
+        return bool(self._quarantined)
+
+    def quarantined(self) -> List[Tuple[str, int, str]]:
+        """Benched ``(strategy, bucket, reason)`` triples, sorted."""
+        return [(strategy, bucket, reason)
+                for (strategy, bucket), reason
+                in sorted(self._quarantined.items())]
+
     # -- lifecycle -------------------------------------------------------
     def reset(self) -> None:
-        """Cold-start: drop factors, bias, probe budgets, observations."""
+        """Cold-start: drop factors, bias, probes, observations,
+        quarantines."""
         self._factors.clear()
         self._bias.clear()
         self._probes.clear()
         self._observations.clear()
+        self._quarantined.clear()
         self.total_observations = 0
 
     # -- serialization ---------------------------------------------------
@@ -263,6 +301,11 @@ class CalibrationStore:
                 {"segment": segment, "bucket": bucket, "count": count}
                 for (segment, bucket), count in sorted(self._probes.items())
             ],
+            "quarantines": [
+                {"strategy": strategy, "bucket": bucket, "reason": reason}
+                for (strategy, bucket), reason
+                in sorted(self._quarantined.items())
+            ],
             "observations": [
                 dataclasses.asdict(obs)
                 for window in self._observations.values()
@@ -272,6 +315,16 @@ class CalibrationStore:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "CalibrationStore":
+        try:
+            return cls._from_dict(payload)
+        except CalibrationError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise CalibrationError(
+                f"malformed calibration payload: {exc}") from exc
+
+    @classmethod
+    def _from_dict(cls, payload: dict) -> "CalibrationStore":
         store = cls()
         for entry in payload.get("factors", ()):
             store._factors[(entry["family"], int(entry["bucket"]))] = \
@@ -295,32 +348,46 @@ class CalibrationStore:
             window = store._observations.setdefault(
                 key, collections.deque(maxlen=OBSERVATION_WINDOW))
             window.append(obs)
+        for entry in payload.get("quarantines", ()):
+            store._quarantined[(entry["strategy"], int(entry["bucket"]))] = \
+                str(entry.get("reason", ""))
         store.total_observations = int(payload.get("total_observations", 0))
         return store
 
     def save(self, path) -> None:
         """Write the store to ``path`` as JSON (restart-hot serving)."""
-        with open(path, "w") as handle:
-            json.dump(self.to_dict(), handle, indent=1, sort_keys=True)
+        try:
+            with open(path, "w") as handle:
+                json.dump(self.to_dict(), handle, indent=1, sort_keys=True)
+        except OSError as exc:
+            raise CalibrationError(
+                f"cannot save calibration to {path!r}: {exc}") from exc
 
     def load(self, path) -> None:
         """Replace this store's state with the JSON at ``path``."""
-        with open(path) as handle:
-            payload = json.load(handle)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CalibrationError(
+                f"cannot load calibration from {path!r}: {exc}") from exc
         restored = self.from_dict(payload)
         self._factors = restored._factors
         self._bias = restored._bias
         self._probes = restored._probes
         self._observations = restored._observations
+        self._quarantined = restored._quarantined
         self.total_observations = restored.total_observations
 
     def summary(self) -> str:
-        if not self._factors:
+        if not self._factors and not self._quarantined:
             return "calibration: (no observations)"
         parts = [f"{family}@2^{bucket}={state.factor:.3g}x"
                  f"(n={state.observations})"
                  for (family, bucket), state
                  in sorted(self._factors.items())]
+        parts += [f"quarantined:{strategy}@2^{bucket}"
+                  for (strategy, bucket) in sorted(self._quarantined)]
         return "calibration: " + " ".join(parts)
 
 
