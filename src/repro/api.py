@@ -24,11 +24,14 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from .artifacts import ArtifactBundle
 from .compiler import AdapticCompiler, AdapticOptions, CompileError
 from .compiler.runtime import (CompiledProgram, InputLocation, RunResult,
                                SegmentExecution)
 from .compiler.stats import SelectionStats
-from .errors import (CalibrationError, KernelExecutionError,
+from .errors import (BundleArchError, BundleError, BundleFormatError,
+                     BundleProgramError, BundleVersionError,
+                     CalibrationError, KernelExecutionError,
                      KernelTimeoutError, ModelSweepError, ReproError,
                      SelectionError, TransferError)
 from .faults import FaultInjector, FaultPlan
@@ -39,13 +42,15 @@ from .perfmodel import (CalibrationStore, FeedbackConfig, Observation,
 from .streamit import StreamProgram
 
 __all__ = [
-    "compile",
+    "compile", "load_bundle",
     "AdapticOptions", "CompileError", "CompiledProgram", "RunResult",
-    "SegmentExecution", "SelectionStats",
+    "SegmentExecution", "SelectionStats", "ArtifactBundle",
     "ExecMode", "InputLocation", "Device",
     "ReproError", "SelectionError", "KernelExecutionError",
     "KernelTimeoutError", "TransferError", "CalibrationError",
     "ModelSweepError",
+    "BundleError", "BundleFormatError", "BundleVersionError",
+    "BundleArchError", "BundleProgramError",
     "FaultInjector", "FaultPlan",
     "CalibrationStore", "FeedbackConfig", "Observation",
     "selection_accuracy", "size_bucket",
@@ -68,3 +73,41 @@ def compile(program: StreamProgram,
     """
     spec = get_target(arch) if isinstance(arch, str) else arch
     return AdapticCompiler(spec, options).compile(program)
+
+
+def load_bundle(path: str,
+                program: Optional[StreamProgram] = None, *,
+                arch: Union[GPUSpec, str, None] = None,
+                options: Optional[AdapticOptions] = None,
+                force: bool = False) -> CompiledProgram:
+    """Reconstruct a warm :class:`CompiledProgram` from a saved bundle.
+
+    Loads the :class:`ArtifactBundle` at ``path``, compiles the program
+    it belongs to (structural work only), and injects the bundle's warm
+    state, so the first :meth:`~CompiledProgram.run` /
+    :meth:`~CompiledProgram.run_many` executes with zero perf-model
+    evaluations and zero expression compiles.
+
+    ``program`` defaults to rebuilding the app named in the bundle's
+    ``meta["app"]`` (the ``bundle save`` CLI records it); ``arch``
+    defaults to the bundle's own target.  A stale bundle — schema or
+    repro version, arch fingerprint, or program IR mismatch — raises
+    the precise :class:`BundleError` subclass and nothing is applied.
+    ``force=True`` only relaxes the repro-version check.
+    """
+    bundle = ArtifactBundle.load(path)
+    if program is None:
+        from . import apps
+        app = bundle.meta.get("app")
+        if app is None or app not in apps.BUILDERS:
+            raise BundleProgramError(
+                f"bundle {path!r} does not name a known app in "
+                f"meta['app'] (got {app!r}); pass program= explicitly "
+                f"(known apps: {sorted(apps.BUILDERS)})")
+        program = apps.BUILDERS[app][0]()
+    if arch is None:
+        arch = bundle.arch_name
+    spec = get_target(arch) if isinstance(arch, str) else arch
+    compiled = AdapticCompiler(spec, options).compile(program)
+    compiled.load_bundle(bundle, force=force)
+    return compiled

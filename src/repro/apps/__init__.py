@@ -8,5 +8,26 @@ implementation and a FLOP counter for GFLOPS reporting.
 from . import (bicgstab, blas1, convolution, insensitive, montecarlo,
                scalar_product, stencil2d, svm, tmv)
 
+#: app name -> (StreamProgram builder, description).  Shared by the CLI
+#: and by :func:`repro.api.load_bundle`, which resolves a bundle's
+#: ``meta["app"]`` back to the program it was saved from.
+BUILDERS = {
+    "tmv": (tmv.build, "transposed matrix-vector multiply"),
+    "sdot": (lambda: blas1.build("sdot"), "BLAS-1 dot product"),
+    "sasum": (lambda: blas1.build("sasum"), "BLAS-1 absolute sum"),
+    "snrm2": (lambda: blas1.build("snrm2"), "BLAS-1 2-norm"),
+    "isamax": (lambda: blas1.build("isamax"), "BLAS-1 arg-abs-max"),
+    "scalar_product": (scalar_product.build,
+                       "SDK scalarProd (many vector pairs)"),
+    "montecarlo": (montecarlo.build, "SDK MonteCarlo option pricing"),
+    "ocean_fft": (stencil2d.build, "oceanFFT surface stencil"),
+    "convolution": (convolution.build, "separable convolution"),
+    "blackscholes": (insensitive.build_blackscholes,
+                     "BlackScholes option pricing"),
+    "histogram": (insensitive.build_histogram, "64-bin histogram"),
+    "kernel_row": (svm.build_kernel_row, "SVM RBF kernel row"),
+    "pair_search": (svm.build_pair_search, "SVM violating-pair search"),
+}
+
 __all__ = ["blas1", "tmv", "scalar_product", "montecarlo", "stencil2d",
-           "convolution", "bicgstab", "svm", "insensitive"]
+           "convolution", "bicgstab", "svm", "insensitive", "BUILDERS"]

@@ -33,14 +33,18 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..errors import (CompileError, KernelExecutionError, KernelTimeoutError,
+from ..artifacts import (ArtifactBundle, BUNDLE_SCHEMA_VERSION,
+                         decode_ndarray, decode_scalars, encode_ndarray,
+                         encode_scalars, program_fingerprint, _repro_version)
+from ..errors import (BundleFormatError, BundleProgramError, CalibrationError,
+                      CompileError, KernelExecutionError, KernelTimeoutError,
                       ModelSweepError, ReproError, SelectionError)
 from ..faults import KIND_NAN, KIND_RAISE, KIND_TIMEOUT
 from ..gpu import Device, EXEC_MODES, ExecMode, GPUSpec, MODE_REFERENCE, \
     PCIE_BANDWIDTH_GBPS
-from ..perfmodel import CalibrationStore, FeedbackConfig, PerformanceModel, \
-    Variant, geometric_points, size_bucket, sweep_axis
-from .exprgen import COMPILE_COUNTER
+from ..perfmodel import CalibrationStore, DecisionTable, FeedbackConfig, \
+    PerformanceModel, Variant, geometric_points, size_bucket, sweep_axis
+from .exprgen import COMPILE_COUNTER, SOURCE_REGISTRY
 from .plans.base import IN, KernelPlan, RESTRUCTURE_COUNTER, freeze_scalars
 from .segments import Segment, SegmentDispatch
 from .stats import CostCache, SelectionStats
@@ -436,6 +440,7 @@ class CompiledProgram:
         stage["kernel"] = max(0.0, stage["kernel"] - in_execute.seconds)
         delta = SelectionStats(
             runs=1, expr_compiles=compiled.total,
+            expr_hydrations=compiled.hydrated,
             restructure_builds=rebuilt.perm_builds,
             restructure_seconds=stage["restructure"],
             h2d_seconds=stage["h2d"], kernel_seconds=stage["kernel"],
@@ -891,21 +896,239 @@ class CompiledProgram:
 
         A warmed service restarts hot: :meth:`load_calibration` on a
         freshly compiled program restores the factors (and re-bakes its
-        dispatch tables under them) without re-measuring anything.
+        dispatch tables under them) without re-measuring anything.  The
+        file is stamped with this runtime's arch fingerprint so it can
+        never silently scale predictions on a different architecture.
         """
+        self.calibration.arch_fingerprint = self.spec.fingerprint()
         self.calibration.save(path)
 
-    def load_calibration(self, path) -> None:
+    def load_calibration(self, path, force: bool = False) -> None:
         """Restore factors saved by :meth:`save_calibration`.
 
+        Raises :class:`CalibrationError` when the file was measured on a
+        different architecture (``force=True`` applies it anyway).
         Every baked dispatch table is re-swept under the restored
         factors, so table lookups agree with what calibrated argmin
         would choose.
         """
-        self.calibration.load(path)
+        self.calibration.load(path, expected_arch=self.spec.fingerprint(),
+                              force=force)
         if not self.calibration.is_identity():
             for segment in self.segments:
                 self._rebake_dispatch(segment)
+
+    # ------------------------------------------------------------------
+    # Artifact bundles (zero-cold-start persistence)
+    # ------------------------------------------------------------------
+    def _identity_fingerprint(self) -> str:
+        """Program + options identity in the bundle invalidation key."""
+        return program_fingerprint(self.program, self.options.label(),
+                                   threads=getattr(self.options, "threads",
+                                                   None))
+
+    def export_bundle(self, meta: Optional[Dict] = None) -> ArtifactBundle:
+        """Assemble this program's complete warm state into a bundle.
+
+        Captures everything the warm path needs — surviving variants,
+        dispatch tables, restructure permutations, cost/transfer memo
+        entries, the calibration store, and every kernel source the
+        process-wide exprgen registry has recorded — keyed by (program
+        IR fingerprint, arch fingerprint, repro version, schema
+        version).  :meth:`load_bundle` in a fresh process replays it so
+        the first run needs zero model evaluations and zero expression
+        compiles.
+        """
+        segments_payload = []
+        for segment in self.segments:
+            dispatch_payload = []
+            if segment.dispatch is not None:
+                d = segment.dispatch
+                dispatch_payload.append({
+                    "axis": d.axis, "lo": int(d.lo), "hi": int(d.hi),
+                    "extras": encode_scalars(d.extras),
+                    "from_host": bool(d.from_host),
+                    "samples": int(d.samples),
+                    "table": d.table.to_payload(),
+                })
+            permutations = []
+            for plan in segment.plans:
+                for size, scalars, perm in plan.export_permutations():
+                    permutations.append({
+                        "strategy": plan.strategy, "size": int(size),
+                        "scalars": encode_scalars(scalars),
+                        "perm": encode_ndarray(perm),
+                    })
+            segments_payload.append({
+                "name": segment.name, "kind": segment.kind,
+                "strategies": [p.strategy for p in segment.plans],
+                "pruned": list(segment.pruned_strategies),
+                "dispatch": dispatch_payload,
+                "permutations": permutations,
+            })
+
+        plan_location = {id(plan): (segment.name, plan.strategy)
+                         for segment in self.segments
+                         for plan in segment.plans}
+        costs = []
+        for plan, scalars, seconds in self.cost.entries():
+            location = plan_location.get(id(plan))
+            if location is None:
+                continue          # memo entry for a since-pruned plan
+            costs.append({"segment": location[0], "strategy": location[1],
+                          "scalars": encode_scalars(scalars),
+                          "seconds": float(seconds)})
+        transfers = [{"scalars": encode_scalars(key),
+                      "seconds": float(seconds)}
+                     for key, seconds in self._transfer_memo.items()]
+
+        self.calibration.arch_fingerprint = self.spec.fingerprint()
+        return ArtifactBundle(
+            schema_version=BUNDLE_SCHEMA_VERSION,
+            repro_version=_repro_version(),
+            program_fingerprint=self._identity_fingerprint(),
+            arch_fingerprint=self.spec.fingerprint(),
+            program_name=self.program.name,
+            arch_name=self.spec.name,
+            options_label=self.options.label(),
+            wire_dtype=self.wire_dtype.str,
+            segments=segments_payload,
+            costs=costs,
+            transfers=transfers,
+            calibration=self.calibration.to_dict(),
+            sources=SOURCE_REGISTRY.export(),
+            meta=dict(meta or {}))
+
+    def save_bundle(self, path, meta: Optional[Dict] = None
+                    ) -> ArtifactBundle:
+        """Write :meth:`export_bundle`'s result to ``path`` atomically."""
+        bundle = self.export_bundle(meta)
+        bundle.save(path)
+        return bundle
+
+    def load_bundle(self, bundle: Union[ArtifactBundle, str], *,
+                    force: bool = False) -> ArtifactBundle:
+        """Inject a bundle's warm state into this (cold) program.
+
+        Validates the full invalidation key and stages every piece of
+        state — segment/strategy resolution, dispatch tables,
+        permutations, calibration — *before* mutating anything, so a
+        stale bundle raises the precise :class:`BundleError` subclass
+        and leaves the program untouched (never half-applied).  After a
+        successful load the first ``run()`` selects from seeded cost
+        memo entries or baked tables (zero model evaluations) and
+        rehydrates kernels from bundle-carried source (zero expression
+        compiles).  ``force=True`` only relaxes the repro-version check.
+        """
+        if not isinstance(bundle, ArtifactBundle):
+            bundle = ArtifactBundle.load(bundle)
+        bundle.validate(program_fingerprint=self._identity_fingerprint(),
+                        arch_fingerprint=self.spec.fingerprint(),
+                        force=force)
+
+        # -- stage: resolve everything against this program ------------
+        by_name = {segment.name: segment for segment in self.segments}
+        if len(bundle.segments) != len(self.segments):
+            raise BundleProgramError(
+                f"bundle has {len(bundle.segments)} segment(s) but the "
+                f"program compiled {len(self.segments)}; re-save the "
+                f"bundle",
+                segment=None)
+        staged = []
+        for payload in bundle.segments:
+            segment = by_name.get(payload["name"])
+            if segment is None:
+                raise BundleProgramError(
+                    f"bundle segment {payload['name']!r} does not exist in "
+                    f"this program (segments: {sorted(by_name)}); re-save "
+                    f"the bundle", segment=payload["name"])
+            available = {plan.strategy: plan for plan in segment.plans}
+            missing = [s for s in payload["strategies"]
+                       if s not in available]
+            if missing:
+                raise BundleProgramError(
+                    f"bundle names strategy(ies) {missing} that segment "
+                    f"{segment.name!r} did not compile (available: "
+                    f"{sorted(available)}); the variant generators "
+                    f"changed — re-save the bundle",
+                    segment=segment.name, plan=missing[0])
+            survivors = set(payload["strategies"])
+            dispatch = None
+            for entry in payload.get("dispatch") or []:
+                try:
+                    table = DecisionTable.from_payload(entry["table"])
+                    dispatch = SegmentDispatch(
+                        axis=str(entry["axis"]), lo=int(entry["lo"]),
+                        hi=int(entry["hi"]),
+                        extras=decode_scalars(entry["extras"]),
+                        from_host=bool(entry["from_host"]), table=table,
+                        samples=int(entry.get("samples", 8)))
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise BundleFormatError(
+                        f"segment {segment.name!r}: malformed dispatch "
+                        f"payload: {exc}", segment=segment.name) from exc
+                unknown = [w for w in table.winners if w not in survivors]
+                if unknown:
+                    raise BundleProgramError(
+                        f"segment {segment.name!r}: dispatch table selects "
+                        f"strategy {unknown[0]!r} which is not in the "
+                        f"bundle's surviving set {sorted(survivors)}; "
+                        f"re-save the bundle",
+                        segment=segment.name, plan=unknown[0])
+            permutations = []
+            for entry in payload.get("permutations") or []:
+                if entry["strategy"] not in survivors:
+                    continue
+                try:
+                    permutations.append(
+                        (entry["strategy"], int(entry["size"]),
+                         decode_scalars(entry["scalars"]),
+                         decode_ndarray(entry["perm"])))
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise BundleFormatError(
+                        f"segment {segment.name!r}: malformed permutation "
+                        f"payload: {exc}", segment=segment.name) from exc
+            staged.append((segment, payload, dispatch, permutations))
+        try:
+            calibration = CalibrationStore.from_dict(bundle.calibration)
+        except CalibrationError as exc:
+            raise BundleFormatError(
+                f"bundle calibration payload rejected: {exc}") from exc
+        if not isinstance(bundle.sources, dict) or not all(
+                isinstance(k, str) and isinstance(v, str)
+                for k, v in bundle.sources.items()):
+            raise BundleFormatError(
+                "bundle kernel-source map is malformed (expected "
+                "str -> str)")
+
+        # -- commit: nothing below can fail on bundle content ----------
+        for segment, payload, dispatch, permutations in staged:
+            keep = set(payload["strategies"])
+            dropped = tuple(plan.strategy for plan in segment.plans
+                            if plan.strategy not in keep)
+            segment.plans = [plan for plan in segment.plans
+                             if plan.strategy in keep]
+            segment.pruned_strategies = (tuple(payload.get("pruned", ()))
+                                         or segment.pruned_strategies
+                                         + dropped)
+            segment.dispatch = dispatch
+            plans = {plan.strategy: plan for plan in segment.plans}
+            for strategy, size, scalars, perm in permutations:
+                plans[strategy].inject_permutation(size, scalars, perm)
+        plan_of = {(segment.name, plan.strategy): plan
+                   for segment in self.segments for plan in segment.plans}
+        for entry in bundle.costs:
+            plan = plan_of.get((entry["segment"], entry["strategy"]))
+            if plan is not None:
+                self.cost.seed(plan, decode_scalars(entry["scalars"]),
+                               entry["seconds"])
+        for entry in bundle.transfers:
+            self._transfer_memo[decode_scalars(entry["scalars"])] = \
+                float(entry["seconds"])
+        self.calibration = calibration
+        SOURCE_REGISTRY.load(bundle.sources)
+        self.wire_dtype = np.dtype(bundle.wire_dtype)
+        return bundle
 
     def _apply_feedback(self, host_input: Optional[np.ndarray],
                         params: Dict[str, float],

@@ -114,6 +114,41 @@ class CalibrationError(ReproError, RuntimeError):
     """The measured-feedback calibration store failed to load or save."""
 
 
+class BundleError(ReproError, RuntimeError):
+    """An artifact bundle could not be saved, loaded, or applied.
+
+    Base of the zero-cold-start persistence taxonomy
+    (:mod:`repro.artifacts`).  Loading validates the bundle's whole
+    invalidation key *before* touching any runtime state, so every
+    subclass below means "nothing was applied":
+
+    * :class:`BundleFormatError` — the file is truncated, not JSON, or
+      structurally malformed.
+    * :class:`BundleVersionError` — the bundle schema version or the
+      repro version that wrote it does not match this build.
+    * :class:`BundleArchError` — the bundle was produced for a different
+      GPU architecture fingerprint.
+    * :class:`BundleProgramError` — the bundle belongs to a different
+      program (IR hash mismatch, unknown segments or strategies).
+    """
+
+
+class BundleFormatError(BundleError):
+    """The bundle file is truncated, not JSON, or malformed."""
+
+
+class BundleVersionError(BundleError):
+    """The bundle schema or repro version does not match this build."""
+
+
+class BundleArchError(BundleError):
+    """The bundle was produced for a different GPU architecture."""
+
+
+class BundleProgramError(BundleError):
+    """The bundle belongs to a different program or compile options."""
+
+
 class ModelSweepError(ReproError, ValueError):
     """A break-even sweep over an input axis is infeasible.
 

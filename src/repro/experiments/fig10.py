@@ -133,6 +133,137 @@ def calibration_report(total_elements: int = 1 << 20,
     }
 
 
+def _warm_sweep(compiled, total_elements: int, seed: int = 0):
+    """Serve one full shape sweep; returns the (inputs, params) pairs.
+
+    This is the warm-up ``save_bundle`` captures: every shape's variant
+    is selected (populating the cost memo) and executed under *both*
+    executor modes (recording scalar and vector kernel sources, and
+    building restructure permutations), and its transfer time is
+    memoized — so the saved bundle serves either mode cold-start-free.
+    """
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for rows, cols in tmv.shape_sweep(total_elements):
+        matrix, _vec, params = tmv.make_input(rows, cols, rng)
+        compiled.run(matrix, params, exec_mode=api.ExecMode.REFERENCE)
+        compiled.run(matrix, params, exec_mode=api.ExecMode.VECTORIZED)
+        pairs.append((matrix, params))
+    return pairs
+
+
+def save_bundle(path: str, spec: GPUSpec = TESLA_C2050,
+                total_elements: int = 1 << 10,
+                prune_samples: int = 6, seed: int = 0):
+    """Compile + prune + warm the fig10 TMV sweep, then bundle it.
+
+    The saved bundle replays this warm state into a fresh process: the
+    sweep's first request there needs zero model evaluations and zero
+    expression compiles (see :func:`bundle_verify`).
+    """
+    compiled = api.compile(tmv.build(), arch=spec)
+    compiled.prune_variants(samples=prune_samples)
+    _warm_sweep(compiled, total_elements, seed)
+    return compiled.save_bundle(path, meta={
+        "app": "tmv", "total_elements": total_elements,
+        "prune_samples": prune_samples, "seed": seed})
+
+
+def bundle_verify(path: str, total_elements: int = 1 << 10,
+                  seed: int = 0) -> Dict[str, object]:
+    """Load a fig10 bundle and serve the sweep, counting cold-start work.
+
+    Meant to run in a *fresh* process: a healthy bundle serves every
+    sweep shape with ``model_evals == 0``, ``expr_compiles == 0`` and
+    ``perm_builds == 0``.  Returns the counter dict; the CLI exits
+    non-zero when any of the three is nonzero.
+    """
+    from ..compiler.exprgen import COMPILE_COUNTER
+
+    compiled = api.load_bundle(path)
+    before = COMPILE_COUNTER.snapshot()
+    stats_before = compiled.stats.snapshot()
+    rng = np.random.default_rng(seed)
+    outputs = []
+    for rows, cols in tmv.shape_sweep(total_elements):
+        matrix, _vec, params = tmv.make_input(rows, cols, rng)
+        outputs.append(np.asarray(compiled.run(matrix, params).output))
+    compile_delta = COMPILE_COUNTER.since(before)
+    stats = compiled.stats.since(stats_before)
+    return {
+        "shapes": len(outputs),
+        "model_evals": stats.model_evals,
+        "expr_compiles": compile_delta.total,
+        "expr_hydrations": compile_delta.hydrated,
+        "perm_builds": stats.restructure_builds,
+        "cache_hits": stats.cache_hits,
+        "table_hits": stats.table_hits,
+        "checksum": float(sum(float(np.sum(out)) for out in outputs)),
+    }
+
+
+def bundle_benchmark(total_elements: int = 1 << 10,
+                     spec: GPUSpec = TESLA_C2050,
+                     prune_samples: int = 6, seed: int = 0,
+                     path: str = None) -> Dict[str, object]:
+    """First-request latency: cold compile+prune+run vs bundle load+run.
+
+    Both sides serve the sweep's first shape from nothing.  Cold pays
+    structural compilation, variant pruning, model-argmin selection and
+    expression compilation; the bundle side pays structural compilation
+    plus warm-state injection and then selects from seeded memo entries
+    and rehydrates kernels from carried source.  Outputs must be
+    bit-identical.  The exprgen registry's loaded side is cleared before
+    the cold run so it measures true cold compiles even after a bundle
+    load in the same process.
+    """
+    import os
+    import tempfile
+    import time
+
+    from ..compiler.exprgen import SOURCE_REGISTRY
+
+    owns_path = path is None
+    if owns_path:
+        fd, path = tempfile.mkstemp(suffix=".bundle.json")
+        os.close(fd)
+    try:
+        save_bundle(path, spec, total_elements, prune_samples, seed)
+        rng = np.random.default_rng(seed)
+        rows, cols = tmv.shape_sweep(total_elements)[0]
+        matrix, _vec, params = tmv.make_input(rows, cols, rng)
+
+        mode = api.ExecMode.VECTORIZED
+        SOURCE_REGISTRY.clear()
+        started = time.perf_counter()
+        cold = api.compile(tmv.build(), arch=spec)
+        cold.prune_variants(samples=prune_samples)
+        cold_out = np.asarray(cold.run(matrix, params,
+                                       exec_mode=mode).output)
+        cold_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warm = api.load_bundle(path)
+        warm_out = np.asarray(warm.run(matrix, params,
+                                       exec_mode=mode).output)
+        bundle_seconds = time.perf_counter() - started
+
+        if cold_out.tobytes() != warm_out.tobytes():
+            raise AssertionError(
+                "bundle-loaded first run diverged from cold-compiled run")
+        return {
+            "shape": shape_label(rows, cols),
+            "cold_seconds": cold_seconds,
+            "bundle_seconds": bundle_seconds,
+            "speedup": cold_seconds / bundle_seconds,
+            "cold_model_evals": cold.stats.model_evals,
+            "bundle_model_evals": warm.stats.model_evals,
+        }
+    finally:
+        if owns_path:
+            os.unlink(path)
+
+
 def run(spec: GPUSpec = TESLA_C2050) -> Dict[str, FigureResult]:
     return {label: run_panel(total, spec)
             for label, total in PANELS.items()}

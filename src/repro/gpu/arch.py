@@ -13,6 +13,7 @@ All timing parameters are in core-clock cycles unless stated otherwise.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import math
 
 
@@ -43,6 +44,25 @@ class GPUSpec:
     # Register allocation granularity (registers rounded per warp).
     register_alloc_unit: int = 64
     shared_alloc_unit: int = 128
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable identity of every tuning-relevant architecture field.
+
+        Persisted artifacts (calibration stores, artifact bundles) stamp
+        this value so state measured or baked on one architecture is
+        never silently applied on another; any field change — even a
+        timing parameter tweak on the same GPU name — changes the
+        fingerprint.  The readable prefix keeps mismatch errors
+        actionable; the digest does the comparing.
+        """
+        payload = ";".join(f"{field.name}={getattr(self, field.name)!r}"
+                           for field in dataclasses.fields(self))
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+        slug = self.name.lower().replace(" ", "-")
+        return f"{slug}:{digest}"
 
     # ------------------------------------------------------------------
     # Derived quantities

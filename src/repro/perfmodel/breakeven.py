@@ -130,6 +130,34 @@ class DecisionTable(Generic[InputT]):
                 merged.append(sub)
         self.subranges = merged
 
+    # ------------------------------------------------------------------
+    # Serialization (artifact bundles)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-serializable form; pairs instead of dicts because JSON
+        object keys are strings and the sweep points are integers."""
+        return {
+            "points": list(self.points),
+            "choices": [[point, self.choices[point]]
+                        for point in self.points if point in self.choices],
+            "times": [[point, dict(self.times[point])]
+                      for point in self.points if point in self.times],
+            "subranges": [[sub.lo, sub.hi, sub.variant]
+                          for sub in self.subranges],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "DecisionTable":
+        return cls(
+            points=list(payload["points"]),
+            choices={point: winner for point, winner in payload["choices"]},
+            times={point: {str(name): float(seconds)
+                           for name, seconds in entries.items()}
+                   for point, entries in payload["times"]},
+            subranges=[Subrange(lo, hi, variant)
+                       for lo, hi, variant in payload["subranges"]],
+        )
+
 
 def geometric_points(lo: float, hi: float, samples: int) -> List[int]:
     """Geometrically spaced integer sample points covering ``[lo, hi]``.

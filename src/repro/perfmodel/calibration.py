@@ -29,10 +29,16 @@ import json
 import math
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from ..artifacts import atomic_write_json
 from ..errors import CalibrationError
 
 #: Raw observation records kept per ``(variant, scalars, bucket)`` key.
 OBSERVATION_WINDOW = 32
+
+#: Schema version stamped into saved stores; bump on layout changes.
+CALIBRATION_SCHEMA_VERSION = 1
+#: Schema versions this build can read.
+SUPPORTED_CALIBRATION_VERSIONS = (1,)
 
 
 def size_bucket(params) -> int:
@@ -148,6 +154,9 @@ class CalibrationStore:
         self._quarantined: Dict[Tuple[str, int], str] = {}
         #: Total feedback observations recorded (drives epsilon probes).
         self.total_observations = 0
+        #: :meth:`GPUSpec.fingerprint` of the architecture the factors
+        #: were measured on (``None`` until stamped by the runtime).
+        self.arch_fingerprint: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self._factors)
@@ -284,11 +293,13 @@ class CalibrationStore:
         self._observations.clear()
         self._quarantined.clear()
         self.total_observations = 0
+        self.arch_fingerprint = None
 
     # -- serialization ---------------------------------------------------
     def to_dict(self) -> dict:
         return {
-            "version": 1,
+            "version": CALIBRATION_SCHEMA_VERSION,
+            "arch_fingerprint": self.arch_fingerprint,
             "total_observations": self.total_observations,
             "factors": [
                 {"family": family, "bucket": bucket,
@@ -325,7 +336,20 @@ class CalibrationStore:
 
     @classmethod
     def _from_dict(cls, payload: dict) -> "CalibrationStore":
+        # Payloads predating the version field are schema 1.
+        version = payload.get("version", 1)
+        if version not in SUPPORTED_CALIBRATION_VERSIONS:
+            raise CalibrationError(
+                f"calibration payload has schema version {version!r}; this "
+                f"build reads versions "
+                f"{list(SUPPORTED_CALIBRATION_VERSIONS)} — re-save the "
+                f"store with this version of repro",
+                found=version,
+                supported=list(SUPPORTED_CALIBRATION_VERSIONS))
         store = cls()
+        fingerprint = payload.get("arch_fingerprint")
+        store.arch_fingerprint = str(fingerprint) \
+            if fingerprint is not None else None
         for entry in payload.get("factors", ()):
             store._factors[(entry["family"], int(entry["bucket"]))] = \
                 _Factor(float(entry["factor"]), int(entry["observations"]))
@@ -355,16 +379,29 @@ class CalibrationStore:
         return store
 
     def save(self, path) -> None:
-        """Write the store to ``path`` as JSON (restart-hot serving)."""
+        """Write the store to ``path`` as JSON (restart-hot serving).
+
+        The write is atomic (temp file + ``os.replace``), so a crash or
+        full disk mid-write leaves the previous good file in place
+        instead of a truncated one.
+        """
         try:
-            with open(path, "w") as handle:
-                json.dump(self.to_dict(), handle, indent=1, sort_keys=True)
+            atomic_write_json(path, self.to_dict(), indent=1)
         except OSError as exc:
             raise CalibrationError(
                 f"cannot save calibration to {path!r}: {exc}") from exc
 
-    def load(self, path) -> None:
-        """Replace this store's state with the JSON at ``path``."""
+    def load(self, path, expected_arch: Optional[str] = None,
+             force: bool = False) -> None:
+        """Replace this store's state with the JSON at ``path``.
+
+        ``expected_arch`` is the current runtime's
+        :meth:`GPUSpec.fingerprint`; a store stamped with a *different*
+        fingerprint is rejected — factors measured on one architecture
+        must not silently scale predictions on another.  ``force=True``
+        applies it anyway (explicit cross-arch seeding).  Stores with no
+        stamp (pre-fingerprint files) load unconditionally.
+        """
         try:
             with open(path) as handle:
                 payload = json.load(handle)
@@ -372,6 +409,16 @@ class CalibrationStore:
             raise CalibrationError(
                 f"cannot load calibration from {path!r}: {exc}") from exc
         restored = self.from_dict(payload)
+        if (expected_arch is not None
+                and restored.arch_fingerprint is not None
+                and restored.arch_fingerprint != expected_arch
+                and not force):
+            raise CalibrationError(
+                f"calibration at {path!r} was measured on arch "
+                f"{restored.arch_fingerprint!r} but this runtime targets "
+                f"{expected_arch!r}; pass force=True to apply it anyway",
+                found=restored.arch_fingerprint, expected=expected_arch)
+        self.arch_fingerprint = restored.arch_fingerprint
         self._factors = restored._factors
         self._bias = restored._bias
         self._probes = restored._probes
