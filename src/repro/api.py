@@ -13,7 +13,8 @@ nothing else::
 :func:`compile` is the only function defined here; everything else is a
 re-export of the types an application touches (:class:`CompiledProgram`,
 :class:`RunResult`, :class:`SelectionStats`, :class:`ExecMode`,
-:class:`InputLocation`, the feedback/calibration types, and the GPU
+:class:`InputLocation`, the feedback/calibration types, the serving
+front door (:class:`Server` / :class:`ServeConfig`), and the GPU
 targets).  The facade adds no behavior, so the internal modules can keep
 moving without breaking callers; the historical entry points
 (``repro.compile_program``, ``repro.compiler.AdapticCompiler``) remain
@@ -29,16 +30,19 @@ from .compiler import AdapticCompiler, AdapticOptions, CompileError
 from .compiler.runtime import (CompiledProgram, InputLocation, RunResult,
                                SegmentExecution)
 from .compiler.stats import SelectionStats
-from .errors import (BundleArchError, BundleError, BundleFormatError,
-                     BundleProgramError, BundleVersionError,
-                     CalibrationError, KernelExecutionError,
-                     KernelTimeoutError, ModelSweepError, ReproError,
-                     SelectionError, TransferError)
+from .errors import (AdmissionError, BundleArchError, BundleError,
+                     BundleFormatError, BundleProgramError,
+                     BundleVersionError, CalibrationError,
+                     KernelExecutionError, KernelTimeoutError,
+                     ModelSweepError, ReproError, SelectionError,
+                     ServeError, TransferError)
 from .faults import FaultInjector, FaultPlan
 from .gpu import (Device, ExecMode, GPUSpec, GTX_285, GTX_480, TARGETS,
                   TESLA_C2050, get_target)
 from .perfmodel import (CalibrationStore, FeedbackConfig, Observation,
                         selection_accuracy, size_bucket)
+from .serve import (Priority, ServeConfig, ServeResult, Server,
+                    TenantConfig)
 from .streamit import StreamProgram
 
 __all__ = [
@@ -48,7 +52,8 @@ __all__ = [
     "ExecMode", "InputLocation", "Device",
     "ReproError", "SelectionError", "KernelExecutionError",
     "KernelTimeoutError", "TransferError", "CalibrationError",
-    "ModelSweepError",
+    "ModelSweepError", "ServeError", "AdmissionError",
+    "Server", "ServeConfig", "ServeResult", "Priority", "TenantConfig",
     "BundleError", "BundleFormatError", "BundleVersionError",
     "BundleArchError", "BundleProgramError",
     "FaultInjector", "FaultPlan",

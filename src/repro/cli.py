@@ -9,6 +9,7 @@
     python -m repro describe tmv           # compiled variants + CUDA text
     python -m repro calibration [sdot]     # feedback recovery experiment
     python -m repro health                 # fault-tolerance self-check
+    python -m repro serve-bench            # front-door load benchmark
     python -m repro bundle save tmv --out tmv.bundle.json
     python -m repro bundle load tmv.bundle.json   # zero-cold-start check
     python -m repro bundle inspect tmv.bundle.json
@@ -48,8 +49,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Adaptic (PLDI 2012) reproduction harness")
     parser.add_argument("command",
                         help="figures | apps | all | report | describe | "
-                             "calibration | health | bundle | fig01 | fig09 "
-                             "| fig10 | fig11 | fig12 | sec53 | code_size")
+                             "calibration | health | serve-bench | bundle | "
+                             "fig01 | fig09 | fig10 | fig11 | fig12 | sec53 "
+                             "| code_size")
     parser.add_argument("name", nargs="?",
                         help="application name (describe/calibration) or "
                              "bundle action (save/load/inspect)")
@@ -73,6 +75,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "input ranges")
     parser.add_argument("--workers", type=int, default=2,
                         help="with health: run_many worker threads")
+    parser.add_argument("--elements", type=int, default=None,
+                        help="with serve-bench: traffic shape-sweep element "
+                             "budget (default 256)")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="with serve-bench: requests per shape "
+                             "(default 16)")
+    parser.add_argument("--max-batch", type=int, default=None,
+                        help="with serve-bench: coalescing bound "
+                             "(default: requests per shape)")
+    parser.add_argument("--max-delay-ms", type=float, default=None,
+                        help="with serve-bench: max batching delay in ms "
+                             "(default 2.0)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="with serve-bench: traffic seed (default 0)")
     args = parser.parse_args(argv)
 
     spec = get_target(args.target)
@@ -141,6 +157,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "health":
         return _health(spec, workers=args.workers)
+    if args.command == "serve-bench":
+        return _serve_bench(spec, args)
     if args.command == "bundle":
         return _bundle(parser, args, spec)
     if args.command in runners:
@@ -207,6 +225,39 @@ def _bundle(parser, args, spec) -> int:
         return 0
     parser.error("bundle needs an action: save | load | inspect")
     return 2
+
+
+def _serve_bench(spec, args) -> int:
+    """``serve-bench`` — deterministic front-door load benchmark.
+
+    Replays a seeded mixed-shape TMV traffic mix through the asyncio
+    front door and through per-request serial ``run()``, printing
+    throughput, p50/p99 latency, the dispatch/batch shape, and the
+    bit-identity verdict against direct ``run_many``.  Exits nonzero
+    when any served output differs from the reference.
+    """
+    from .serve import ServeConfig, TrafficSpec, render, run_benchmark
+
+    traffic = TrafficSpec()
+    if args.elements is not None:
+        traffic.total_elements = args.elements
+    if args.reps is not None:
+        traffic.requests_per_shape = args.reps
+    if args.seed is not None:
+        traffic.seed = args.seed
+    config = None
+    if args.max_batch is not None or args.max_delay_ms is not None:
+        n_requests = (traffic.requests_per_shape
+                      * len(apps.tmv.shape_sweep(traffic.total_elements)))
+        config = ServeConfig(
+            max_batch=args.max_batch or traffic.requests_per_shape,
+            max_delay_s=(args.max_delay_ms or 2.0) / 1e3,
+            fuse_axis="rows", max_queue_depth=n_requests + 1,
+            exec_mode=api.ExecMode.VECTORIZED)
+    report = run_benchmark(spec=spec, traffic=traffic, config=config)
+    print(f"# serving front door vs serial run() — tmv on {spec.name}")
+    print(render(report))
+    return 0 if report["bit_identical"] else 1
 
 
 def _health(spec, workers: int = 2, total_elements: int = 1 << 10) -> int:

@@ -120,6 +120,26 @@ class SegmentExecution:
 
 
 @dataclasses.dataclass
+class BatchOutcome:
+    """Per-index outcome of one :meth:`CompiledProgram.run_batch` call.
+
+    ``results[i]`` is the item's :class:`RunResult` or ``None`` when it
+    failed; ``errors`` maps each failed index to its exception.  The
+    serving front door consumes this directly (one failed request must
+    resolve its own future without disturbing batch-mates);
+    :meth:`CompiledProgram.run_many` wraps it back into the historical
+    raise-on-any-failure contract.
+    """
+
+    results: List[Optional["RunResult"]]
+    errors: Dict[int, BaseException]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+@dataclasses.dataclass
 class RunResult:
     """Functional output plus the modeled execution report."""
 
@@ -697,31 +717,43 @@ class CompiledProgram:
                         input_on_host=input_on_host, exec_mode=exec_mode,
                         feedback=feedback)
 
-    def run_many(self, inputs: Sequence[np.ndarray],
-                 params_list: Union[Dict[str, float],
-                                    Sequence[Dict[str, float]]], *,
-                 workers: int = 1,
-                 force: Optional[Dict[str, str]] = None,
-                 input_on_host: Union[InputLocation, bool]
-                 = InputLocation.HOST,
-                 exec_mode: Optional[ExecMode] = None,
-                 warm: bool = True,
-                 feedback: Union[bool, FeedbackConfig] = False
-                 ) -> List[RunResult]:
-        """Serve a batch of inputs through one shared warm path.
+    def run_batch(self, inputs: Sequence[np.ndarray],
+                  params_list: Union[Dict[str, float],
+                                     Sequence[Dict[str, float]]], *,
+                  workers: int = 1,
+                  force: Optional[Dict[str, str]] = None,
+                  input_on_host: Union[InputLocation, bool]
+                  = InputLocation.HOST,
+                  exec_mode: Optional[ExecMode] = None,
+                  warm: bool = True,
+                  feedback: Union[bool, FeedbackConfig] = False
+                  ) -> BatchOutcome:
+        """Batch entry point with per-index outcomes and no batch abort.
 
-        ``params_list`` is either one params dict broadcast over the
-        batch or one dict per input.  Selection happens once per distinct
-        scalar binding; with ``warm=True`` (default) each distinct
-        binding is warmed up front, so worker threads never compile and
-        never rebuild permutations.  ``workers > 1`` fans the batch out
-        over a thread pool with one device per worker (arenas are not
-        thread-safe); per-run counters are merged into :attr:`stats`
-        after the workers join.
+        The serving front door's hook: identical semantics to
+        :meth:`run_many` except that failures are *returned* — a
+        :class:`BatchOutcome` carries every completed item's
+        :class:`RunResult` and maps each failed index to its exception —
+        so a caller multiplexing independent requests into one dispatch
+        can fail exactly the poisoned request while its batch-mates
+        complete.
+
+        Selection happens once per distinct scalar binding; with
+        ``warm=True`` (default) each distinct binding is warmed up
+        front, so worker threads never compile and never rebuild
+        permutations.  The one ``select()`` per binding is timed and its
+        wall-clock attributed to the binding's first completed result
+        (every other item at the binding reports ``select == 0``), so
+        :meth:`SelectionStats.stage_summary` totals stay truthful.
+        ``workers > 1`` fans the batch out over a thread pool with one
+        device per worker (arenas are not thread-safe); per-run counters
+        are merged into :attr:`stats` after the workers join.
 
         ``feedback=True`` folds one measured observation per distinct
         scalar binding back into :attr:`calibration` after the batch
-        completes (never from worker threads — the store is unsynchronized).
+        completes (never from worker threads — the store is
+        unsynchronized).  A binding whose first completed item succeeded
+        contributes its observation even when other items failed.
         """
         location = InputLocation.coerce(input_on_host)
         exec_mode = ExecMode.coerce(exec_mode)
@@ -731,13 +763,16 @@ class CompiledProgram:
         params_list = [dict(p) for p in params_list]
         if len(params_list) != len(inputs):
             raise ValueError(
-                f"run_many got {len(inputs)} inputs but "
+                f"run_batch got {len(inputs)} inputs but "
                 f"{len(params_list)} params")
 
         # One selection (and optional warmup) per distinct scalar binding,
-        # shared by every batch item at that binding.
+        # shared by every batch item at that binding.  The per-binding
+        # select wall-clock is recorded so it can be attributed to the
+        # first result at the binding instead of vanishing.
         selections: Dict[tuple, List[KernelPlan]] = {}
         plan_costs: Dict[tuple, Dict[int, float]] = {}
+        select_seconds: Dict[tuple, float] = {}
         for params in params_list:
             key = freeze_scalars(params)
             if key in selections:
@@ -746,7 +781,9 @@ class CompiledProgram:
                 self.warmup(params, force=force,
                             input_on_host=location,
                             exec_mode=exec_mode)
+            started = time.perf_counter()
             plans = self.select(params, force, input_on_host=location)
+            select_seconds[key] = time.perf_counter() - started
             selections[key] = plans
             plan_costs[key] = {id(plan): self.cost.plan_seconds(plan, params)
                                for plan in plans}
@@ -775,10 +812,17 @@ class CompiledProgram:
                 device = self._resolve_device(None, exec_mode)
             else:
                 device = worker_device()
-            job_plans = selections[key]
+            # Snapshot the (plans, costs) pair under the refresh lock: a
+            # degrading worker replaces both entries together, and an
+            # unlocked pair of reads could pair a replacement plan list
+            # with the stale cost dict (or vice versa) and KeyError on
+            # ``plan_costs[id(plan)]`` mid-execution.
+            with refresh_lock:
+                job_plans = selections[key]
+                job_costs = plan_costs[key]
             result, delta, used_plans, used_costs = self._execute_guarded(
                 host_input, params, job_plans, device,
-                location.on_host, plan_costs[key])
+                location.on_host, job_costs)
             if used_plans is not job_plans:
                 # The item degraded onto a replacement variant; later
                 # items at the same binding start from the new selection
@@ -819,9 +863,67 @@ class CompiledProgram:
                     future.result()
         for delta in deltas:
             self.stats.merge(delta)
-        failed = [i for i, e in enumerate(errors) if e is not None]
-        if failed:
-            first = errors[failed[0]]
+        # Attribute each binding's amortized select wall-clock to its
+        # first completed result (this used to be hard-coded to 0.0 for
+        # every item, hiding the real selection cost from stage totals).
+        attributed = set()
+        for index, params in enumerate(params_list):
+            key = freeze_scalars(params)
+            if key in attributed or results[index] is None:
+                continue
+            attributed.add(key)
+            results[index].stage_seconds["select"] = select_seconds[key]
+        if feedback:
+            # Feedback is per binding, from the binding's first
+            # *completed* item — valid measurements from surviving items
+            # are folded in even when other items in the batch failed
+            # (they used to be discarded whenever anything failed).
+            config = (feedback if isinstance(feedback, FeedbackConfig)
+                      else self.feedback)
+            observed_keys = set()
+            for index, params in enumerate(params_list):
+                key = freeze_scalars(params)
+                if key in observed_keys or results[index] is None:
+                    continue
+                observed_keys.add(key)
+                self._apply_feedback(
+                    self._validate_input(inputs[index], params), params,
+                    selections[key], results[index],
+                    self._resolve_device(None, exec_mode),
+                    location.on_host, config)
+        return BatchOutcome(
+            results=results,
+            errors={i: e for i, e in enumerate(errors) if e is not None})
+
+    def run_many(self, inputs: Sequence[np.ndarray],
+                 params_list: Union[Dict[str, float],
+                                    Sequence[Dict[str, float]]], *,
+                 workers: int = 1,
+                 force: Optional[Dict[str, str]] = None,
+                 input_on_host: Union[InputLocation, bool]
+                 = InputLocation.HOST,
+                 exec_mode: Optional[ExecMode] = None,
+                 warm: bool = True,
+                 feedback: Union[bool, FeedbackConfig] = False
+                 ) -> List[RunResult]:
+        """Serve a batch of inputs through one shared warm path.
+
+        ``params_list`` is either one params dict broadcast over the
+        batch or one dict per input.  A thin wrapper over
+        :meth:`run_batch` keeping the historical contract: on any item
+        failure the first error is raised (carrying ``batch_errors`` and
+        ``partial_results``); callers that need per-index outcomes
+        without an exception use :meth:`run_batch` directly.  Feedback
+        for bindings whose first completed item succeeded is applied
+        *before* the raise — completed measurements are never discarded.
+        """
+        outcome = self.run_batch(
+            inputs, params_list, workers=workers, force=force,
+            input_on_host=input_on_host, exec_mode=exec_mode, warm=warm,
+            feedback=feedback)
+        if outcome.errors:
+            failed = sorted(outcome.errors)
+            first = outcome.errors[failed[0]]
             if not isinstance(first, KernelExecutionError):
                 wrapped = KernelExecutionError(
                     f"batch item {failed[0]} failed: {first}",
@@ -832,24 +934,10 @@ class CompiledProgram:
                 first.batch_index = failed[0]
             #: index -> exception for every failed item; completed items
             #: keep their results in ``partial_results``.
-            first.batch_errors = {i: errors[i] for i in failed}
-            first.partial_results = results
+            first.batch_errors = dict(outcome.errors)
+            first.partial_results = outcome.results
             raise first
-        if feedback:
-            config = (feedback if isinstance(feedback, FeedbackConfig)
-                      else self.feedback)
-            observed_keys = set()
-            for index, params in enumerate(params_list):
-                key = freeze_scalars(params)
-                if key in observed_keys:
-                    continue
-                observed_keys.add(key)
-                self._apply_feedback(
-                    self._validate_input(inputs[index], params), params,
-                    selections[key], results[index],
-                    self._resolve_device(None, exec_mode),
-                    location.on_host, config)
-        return results
+        return outcome.results
 
     # ------------------------------------------------------------------
     # Measured feedback (online recalibration + mispredict re-selection)

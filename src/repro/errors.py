@@ -149,6 +149,29 @@ class BundleProgramError(BundleError):
     """The bundle belongs to a different program or compile options."""
 
 
+class ServeError(ReproError, RuntimeError):
+    """Base of the serving front door's failure taxonomy.
+
+    ``tenant`` names the submitting tenant and ``reason`` a short
+    machine tag (``"queue_full"`` / ``"tenant_quota"`` / ``"closed"``).
+    """
+
+    def __init__(self, message: str = "", *,
+                 tenant: Optional[str] = None,
+                 reason: Optional[str] = None, **kwargs: Any):
+        super().__init__(message, **kwargs)
+        self.tenant = tenant
+        self.reason = reason
+
+
+class AdmissionError(ServeError):
+    """The front door rejected a request at admission time.
+
+    Raised before the request enters the queue — the caller should shed
+    load or retry later; nothing was dispatched on its behalf.
+    """
+
+
 class ModelSweepError(ReproError, ValueError):
     """A break-even sweep over an input axis is infeasible.
 

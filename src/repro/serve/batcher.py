@@ -1,0 +1,144 @@
+"""Shape-bucketed coalescing of in-flight requests.
+
+"A Few Fit Most" observes that a small set of compiled variants covers
+most of a real traffic mix — which means a stream of independent
+requests keeps landing on the *same* (program, size-bucket, frozen
+scalars) bindings.  The batcher exploits exactly that: requests are
+bucketed by binding and coalesced into single warmed dispatches under a
+max-batch / max-delay policy, so the per-dispatch costs (selection,
+stats merging, python call overhead — and, when the binding is fusable,
+the whole per-run launch path) amortize over every rider.
+
+Bucket key: ``(frozen scalar params, aux-array identity, size bucket)``.
+Aux arrays (e.g. TMV's ``vec``) participate by ``id()`` — requests
+sharing the same const objects coalesce; distinct objects stay apart,
+which is always correct, merely less batched.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..compiler.plans.base import freeze_arrays, freeze_scalars
+from ..perfmodel import size_bucket
+from .tenancy import Priority
+
+#: Bucket key type: (frozen scalars, frozen aux identities, size bucket).
+BucketKey = Tuple[tuple, tuple, int]
+
+
+def bucket_key(params: Dict) -> BucketKey:
+    """Coalescing key of one request's parameter binding."""
+    return (freeze_scalars(params), freeze_arrays(params),
+            size_bucket(params))
+
+
+@dataclasses.dataclass
+class PendingRequest:
+    """One admitted request waiting in (or moving through) the batcher."""
+
+    seq: int
+    tenant: str
+    priority: Priority
+    host_input: np.ndarray
+    params: Dict
+    key: BucketKey
+    future: "object"              # asyncio.Future, untyped to stay import-light
+    submitted: float = dataclasses.field(default_factory=time.perf_counter)
+
+
+class ShapeBatcher:
+    """Groups pending requests by bucket key until a dispatch triggers.
+
+    A group leaves the batcher when it reaches ``max_batch``
+    (:meth:`add` returns it) or when the front door's per-group
+    max-delay timer fires (:meth:`pop` with the armed generation).
+    Generations make stale timers harmless: a timer armed for a group
+    that already dispatched full finds a different generation and
+    no-ops.
+    """
+
+    def __init__(self, max_batch: int):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_batch = int(max_batch)
+        self._groups: Dict[BucketKey, List[PendingRequest]] = {}
+        self._gen: Dict[BucketKey, int] = {}
+
+    def __len__(self) -> int:
+        return sum(len(group) for group in self._groups.values())
+
+    def add(self, request: PendingRequest
+            ) -> Tuple[Optional[List[PendingRequest]], Optional[int]]:
+        """File one request; returns ``(full_group, armed_generation)``.
+
+        ``full_group`` is non-None when this request filled its bucket
+        to ``max_batch`` (the group is removed and must dispatch now).
+        ``armed_generation`` is non-None when this request opened a new
+        group — the caller arms a max-delay flush timer carrying it.
+        """
+        key = request.key
+        group = self._groups.get(key)
+        armed: Optional[int] = None
+        if group is None:
+            group = []
+            self._groups[key] = group
+            self._gen[key] = self._gen.get(key, 0) + 1
+            armed = self._gen[key]
+        group.append(request)
+        if len(group) >= self.max_batch:
+            del self._groups[key]
+            return group, armed
+        return None, armed
+
+    def pop(self, key: BucketKey, generation: Optional[int] = None
+            ) -> Optional[List[PendingRequest]]:
+        """Remove and return one group (max-delay flush path).
+
+        With ``generation`` given, pops only if the group currently
+        open at ``key`` is the one the timer was armed for.
+        """
+        if generation is not None and self._gen.get(key) != generation:
+            return None
+        return self._groups.pop(key, None)
+
+    def flush_all(self) -> List[List[PendingRequest]]:
+        """Remove and return every open group (drain path)."""
+        groups = list(self._groups.values())
+        self._groups.clear()
+        return groups
+
+
+def linearly_batchable(compiled, params: Dict, axis: str) -> bool:
+    """Can same-binding requests fuse by concatenation along ``axis``?
+
+    Necessary structural condition: the program's input and output
+    sizes must both scale linearly in the axis, so ``k`` request
+    streams concatenate into one ``k * axis`` run whose output splits
+    back into ``k`` per-request chunks.  This check is structural only —
+    the *semantic* requirement (each steady-state invocation consumes
+    its own slice of the stream with no cross-invocation state, true
+    for row-wise programs like TMV, false for stencils or whole-stream
+    reductions) is the caller's opt-in contract via
+    ``ServeConfig.fuse_axis``; the served outputs are differentially
+    verified bit-identical against unfused dispatch by the serve test
+    suite and the load benchmark.
+    """
+    value = params.get(axis)
+    if not isinstance(value, (int, np.integer)) or value < 1:
+        return False
+    doubled = dict(params)
+    doubled[axis] = int(value) * 2
+    try:
+        in_one = compiled.segments[0].input_size(params)
+        out_one = compiled.segments[-1].output_size(params)
+        in_two = compiled.segments[0].input_size(doubled)
+        out_two = compiled.segments[-1].output_size(doubled)
+    except Exception:
+        return False
+    return (in_one > 0 and out_one > 0
+            and in_two == 2 * in_one and out_two == 2 * out_one)

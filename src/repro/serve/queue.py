@@ -1,0 +1,49 @@
+"""Priority-ordered dispatch queue between the batcher and the runner.
+
+Ready groups (full buckets or max-delay flushes) wait here until the
+dispatcher coroutine picks them up.  Ordering is by the group's best
+priority class first (a group carrying one ``HIGH`` request dispatches
+like a ``HIGH`` group), then strict FIFO within a class via a
+monotonic sequence number — deterministic, so tests can assert exact
+dispatch order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import List, Optional
+
+from .batcher import PendingRequest
+from .tenancy import Priority
+
+#: Queue entry priority used for the close sentinel: dispatch loop
+#: processes every real group (priority >= 0) before it sees the close.
+_CLOSE_PRIORITY = Priority.LOW + 1
+
+
+class DispatchQueue:
+    """asyncio priority queue of ready request groups."""
+
+    def __init__(self):
+        self._queue: "asyncio.PriorityQueue" = asyncio.PriorityQueue()
+        self._seq = itertools.count()
+
+    def put_nowait(self, group: List[PendingRequest]) -> None:
+        priority = min(request.priority for request in group)
+        self._queue.put_nowait((int(priority), next(self._seq), group))
+
+    def close(self) -> None:
+        """Enqueue the close sentinel after every pending group."""
+        self._queue.put_nowait((int(_CLOSE_PRIORITY), next(self._seq), None))
+
+    async def get(self) -> Optional[List[PendingRequest]]:
+        """Next group by (priority, arrival); ``None`` means close."""
+        _priority, _seq, group = await self._queue.get()
+        return group
+
+    def task_done(self) -> None:
+        self._queue.task_done()
+
+    def qsize(self) -> int:
+        return self._queue.qsize()

@@ -1,0 +1,420 @@
+"""The asyncio serving front door.
+
+``Server`` turns a warmed :class:`~repro.compiler.runtime.CompiledProgram`
+into a service: independent requests are admitted (bounded queue,
+per-tenant quotas, priority headroom), coalesced by (program,
+size-bucket, frozen-scalars) bucket under a max-batch / max-delay
+policy, and dispatched as single warmed batch executions.  Failures are
+per-request — one poisoned request resolves its own future with the
+error while its batch-mates complete, riding
+:meth:`CompiledProgram.run_batch`'s per-index capture.
+
+Two dispatch shapes per coalesced group:
+
+* **fused** (``ServeConfig.fuse_axis``): ``k`` same-binding requests
+  concatenate along the declared stream axis into *one* run at
+  ``axis * k`` — the per-run launch path amortizes over the group, the
+  dominant throughput win for repeated shapes.  Opt-in, because it is
+  only semantically sound for programs whose steady-state invocations
+  consume disjoint stream slices (row-wise TMV yes; stencils and
+  whole-stream reductions no).  A fused failure falls back to unfused
+  per-item dispatch so isolation still holds.
+* **unfused** (default): one :meth:`run_batch` over the group — shared
+  selection/warmup, per-index error capture.
+
+Execution runs on a single-threaded executor so the event loop stays
+responsive while the (unsynchronized) program counters are only ever
+touched from one thread; admission keeps batching while a dispatch is
+in flight, which is what makes the batcher fill up under load.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import math
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..compiler.plans.base import freeze_scalars
+from ..compiler.runtime import RunResult
+from ..errors import AdmissionError, ServeError
+from ..gpu import ExecMode
+from ..perfmodel import size_bucket
+from .batcher import (BucketKey, PendingRequest, ShapeBatcher, bucket_key,
+                      linearly_batchable)
+from .metrics import ServeMetrics
+from .queue import DispatchQueue
+from .tenancy import (AdmissionPolicy, Priority, TenantConfig, TenantState,
+                      resolve_tenants)
+
+#: Name of the tenant used when ``submit()`` does not specify one.
+DEFAULT_TENANT = "default"
+
+
+@dataclasses.dataclass
+class ServeConfig:
+    """Front-door policy knobs.
+
+    ``max_batch`` / ``max_delay_s`` bound the coalescing window: a
+    bucket dispatches the moment it holds ``max_batch`` requests or
+    when its oldest request has waited ``max_delay_s``.
+    ``max_queue_depth`` bounds admitted-but-unresolved requests
+    (priority classes scale it — see
+    :class:`~repro.serve.tenancy.AdmissionPolicy`).  ``fuse_axis``
+    opts the program into stream-axis fusion for same-binding groups;
+    ``fuse_min_gain`` is the model-predicted speedup (one fused run vs
+    the group run solo) a group must clear before the server fuses it —
+    the fuse decision is itself input-aware, riding the same cost model
+    the selector uses, so bindings whose chosen variant stops scaling
+    at the fused size stay on the per-item path.  ``feedback`` forwards
+    to the underlying dispatches so the program's own calibration store
+    keeps learning while serving.
+    """
+
+    max_batch: int = 8
+    max_delay_s: float = 0.002
+    max_queue_depth: int = 256
+    workers: int = 1
+    exec_mode: Optional[ExecMode] = None
+    fuse_axis: Optional[str] = None
+    fuse_min_gain: float = 2.0
+    feedback: bool = False
+    default_quota: int = 64
+
+
+@dataclasses.dataclass
+class ServeResult:
+    """What one request's future resolves to.
+
+    ``stage_seconds`` covers ``queue`` / ``batch`` / ``select`` /
+    ``kernel``; for fused dispatches the select/kernel stages are the
+    fused run's, amortized over the group.  ``run`` is the underlying
+    :class:`RunResult` (shared by the whole group when fused).
+    """
+
+    output: np.ndarray
+    tenant: str
+    priority: Priority
+    batch_size: int
+    fused: bool
+    stage_seconds: Dict[str, float]
+    run: RunResult
+
+
+class Server:
+    """Asyncio front door over one compiled program.
+
+    Use as an async context manager::
+
+        async with Server(compiled, ServeConfig(max_batch=8)) as server:
+            result = await server.submit(data, params, tenant="alice")
+
+    ``submit`` resolves with a :class:`ServeResult` or raises the
+    request's own failure (admission rejections raise
+    :class:`~repro.errors.AdmissionError` immediately).
+    """
+
+    def __init__(self, compiled, config: Optional[ServeConfig] = None, *,
+                 tenants: Sequence[Union[TenantConfig, str]] = ()):
+        self.compiled = compiled
+        self.config = config or ServeConfig()
+        self.metrics = ServeMetrics()
+        self.tenants: Dict[str, TenantState] = resolve_tenants(tenants)
+        self._policy = AdmissionPolicy(self.config.max_queue_depth)
+        self._batcher = ShapeBatcher(self.config.max_batch)
+        self._queue: Optional[DispatchQueue] = None
+        self._pending = 0
+        self._seq = 0
+        self._closed = True
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._timers: Dict[BucketKey, asyncio.TimerHandle] = {}
+        #: strategy tag -> plan family, for per-tenant calibration folds.
+        self._family_of = {plan.strategy: plan.family
+                           for segment in compiled.segments
+                           for plan in segment.plans}
+        #: binding -> is stream-axis fusion structurally valid there.
+        self._fusable: Dict[tuple, bool] = {}
+
+    # -- lifecycle -------------------------------------------------------
+    async def __aenter__(self) -> "Server":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    async def start(self) -> None:
+        if not self._closed:
+            return
+        self._loop = asyncio.get_running_loop()
+        self._queue = DispatchQueue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve")
+        self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        self._closed = False
+        self.metrics.start_window()
+
+    async def close(self) -> None:
+        """Drain: flush open buckets, finish in-flight work, stop."""
+        if self._closed:
+            return
+        self._closed = True
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        for group in self._batcher.flush_all():
+            self._queue.put_nowait(group)
+        self._queue.close()
+        await self._dispatcher
+        self._executor.shutdown(wait=True)
+        self.metrics.stop_window()
+
+    @property
+    def pending(self) -> int:
+        """Admitted requests not yet resolved (queued + dispatched)."""
+        return self._pending
+
+    # -- tenancy ---------------------------------------------------------
+    def tenant(self, name: str) -> TenantState:
+        """The tenant's live state, auto-registered on first sight."""
+        state = self.tenants.get(name)
+        if state is None:
+            state = TenantState(TenantConfig(
+                name=name, quota=self.config.default_quota))
+            self.tenants[name] = state
+        return state
+
+    # -- submission ------------------------------------------------------
+    async def submit(self, host_input: np.ndarray, params: Dict, *,
+                     tenant: str = DEFAULT_TENANT,
+                     priority: Optional[Priority] = None) -> ServeResult:
+        """Admit one request and await its result.
+
+        Raises :class:`~repro.errors.AdmissionError` when shed at the
+        door, :class:`~repro.errors.ServeError` when the server is
+        closed, or the request's own execution failure.
+        """
+        if self._closed:
+            raise ServeError("server is not accepting requests",
+                             tenant=tenant, reason="closed")
+        state = self.tenant(tenant)
+        if priority is None:
+            priority = state.config.priority
+        priority = Priority(priority)
+        state.submitted += 1
+        self.metrics.submitted += 1
+        try:
+            self._policy.admit(self._pending, state, priority)
+        except AdmissionError as exc:
+            state.rejected += 1
+            self.metrics.record_rejection(exc.reason or "rejected")
+            raise
+        self._seq += 1
+        request = PendingRequest(
+            seq=self._seq, tenant=tenant, priority=priority,
+            host_input=host_input, params=dict(params),
+            key=bucket_key(params), future=self._loop.create_future())
+        self._pending += 1
+        state.inflight += 1
+        full_group, armed = self._batcher.add(request)
+        if full_group is not None:
+            self._disarm(request.key)
+            self._queue.put_nowait(full_group)
+        elif armed is not None:
+            self._arm(request.key, armed)
+        return await request.future
+
+    def _arm(self, key: BucketKey, generation: int) -> None:
+        self._timers[key] = self._loop.call_later(
+            self.config.max_delay_s, self._flush, key, generation)
+
+    def _disarm(self, key: BucketKey) -> None:
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _flush(self, key: BucketKey, generation: int) -> None:
+        """Max-delay timer fired: dispatch whatever the bucket holds."""
+        self._timers.pop(key, None)
+        group = self._batcher.pop(key, generation)
+        if group:
+            self._queue.put_nowait(group)
+
+    # -- dispatch --------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        while True:
+            group = await self._queue.get()
+            if group is None:
+                self._queue.task_done()
+                break
+            dispatched_at = time.perf_counter()
+            try:
+                entries = await self._loop.run_in_executor(
+                    self._executor, self._run_group, group)
+            except Exception as exc:     # pragma: no cover - defensive
+                entries = [exc] * len(group)
+            self._resolve(group, entries, dispatched_at)
+            self._queue.task_done()
+
+    def _resolve(self, group: List[PendingRequest], entries,
+                 dispatched_at: float) -> None:
+        done = time.perf_counter()
+        for request, entry in zip(group, entries):
+            state = self.tenant(request.tenant)
+            self._pending -= 1
+            state.inflight -= 1
+            if isinstance(entry, BaseException):
+                state.failed += 1
+                self.metrics.record_failure()
+                if not request.future.done():
+                    request.future.set_exception(entry)
+                continue
+            entry.stage_seconds["queue"] = max(
+                dispatched_at - request.submitted, 0.0)
+            state.completed += 1
+            self.metrics.record_completion(done - request.submitted,
+                                           entry.stage_seconds)
+            if not request.future.done():
+                request.future.set_result(entry)
+
+    # -- group execution (single executor thread) ------------------------
+    def _run_group(self, group: List[PendingRequest]) -> List:
+        """Execute one coalesced group; one entry per request.
+
+        Runs on the dispatch executor thread — the only thread that
+        ever touches the compiled program or the tenant calibration
+        stores, so neither needs locking.
+        """
+        if self._should_fuse(group):
+            try:
+                return self._run_fused(group)
+            except Exception:
+                # Fused execution is all-or-nothing; fall back to
+                # per-item dispatch so only the offending request fails.
+                self.metrics.fused_fallbacks += 1
+        return self._run_unfused(group)
+
+    def _should_fuse(self, group: List[PendingRequest]) -> bool:
+        axis = self.config.fuse_axis
+        if axis is None or len(group) < 2:
+            return False
+        params = group[0].params
+        key = freeze_scalars(params)
+        verdict = self._fusable.get(key)
+        if verdict is None:
+            verdict = linearly_batchable(self.compiled, params, axis)
+            self._fusable[key] = verdict
+        if not verdict:
+            return False
+        gain = self._predicted_fuse_gain(params, len(group))
+        return gain >= self.config.fuse_min_gain
+
+    def _predicted_fuse_gain(self, params: Dict, k: int) -> float:
+        """Model-predicted speedup of one fused run over ``k`` solo runs.
+
+        Uses the same (memoized) cost model the selector rides: the
+        group's base-binding plan chain is priced at the base and fused
+        sizes.  A high ratio means the fused run amortizes per-launch
+        overhead; a ratio near ``1`` means the variant's cost is already
+        linear in the stream axis and fusion buys nothing.
+        """
+        plans = self.compiled.select(params)
+        fused = dict(params)
+        fused[self.config.fuse_axis] = int(params[self.config.fuse_axis]) * k
+        base = sum(self.compiled.cost.plan_seconds(plan, params)
+                   for plan in plans)
+        fused_cost = sum(self.compiled.cost.plan_seconds(plan, fused)
+                         for plan in plans)
+        if fused_cost <= 0.0:
+            return math.inf
+        return (k * base) / fused_cost
+
+    def _run_fused(self, group: List[PendingRequest]) -> List:
+        started = time.perf_counter()
+        k = len(group)
+        axis = self.config.fuse_axis
+        base_params = dict(group[0].params)
+        fused_params = dict(base_params)
+        fused_params[axis] = int(base_params[axis]) * k
+        fused_input = np.concatenate(
+            [np.asarray(r.host_input).reshape(-1) for r in group])
+        # Select at the *base* binding and force that chain on the fused
+        # run: fusion is execution-level packing, not a re-selection.
+        # Letting the fused size re-select can pick a variant with a
+        # different reduction blocking, whose outputs are not
+        # bit-identical to what each request would have produced alone.
+        base_plans = self.compiled.select(base_params)
+        force = {segment.name: plan.strategy
+                 for segment, plan in zip(self.compiled.segments,
+                                          base_plans)}
+        run = self.compiled.run(fused_input, fused_params, force=force,
+                                exec_mode=self.config.exec_mode,
+                                feedback=self.config.feedback)
+        wall = time.perf_counter() - started
+        self.metrics.record_dispatch(k, fused=True)
+        per_request = len(run.output) // k
+        stage = {
+            "batch": wall,
+            "select": run.stage_seconds.get("select", 0.0) / k,
+            "kernel": run.stage_seconds.get("kernel", 0.0) / k,
+        }
+        self._fold_tenants({r.tenant for r in group}, run, fused_params)
+        entries = []
+        for index, request in enumerate(group):
+            output = run.output[index * per_request:
+                                (index + 1) * per_request].copy()
+            entries.append(ServeResult(
+                output=output, tenant=request.tenant,
+                priority=request.priority, batch_size=k, fused=True,
+                stage_seconds=dict(stage), run=run))
+        return entries
+
+    def _run_unfused(self, group: List[PendingRequest]) -> List:
+        started = time.perf_counter()
+        outcome = self.compiled.run_batch(
+            [r.host_input for r in group],
+            [r.params for r in group],
+            workers=self.config.workers,
+            exec_mode=self.config.exec_mode,
+            feedback=self.config.feedback)
+        wall = time.perf_counter() - started
+        self.metrics.record_dispatch(len(group), fused=False)
+        entries: List = []
+        for index, request in enumerate(group):
+            error = outcome.errors.get(index)
+            if error is not None:
+                entries.append(error)
+                continue
+            run = outcome.results[index]
+            self._fold_tenants({request.tenant}, run, request.params)
+            entries.append(ServeResult(
+                output=run.output, tenant=request.tenant,
+                priority=request.priority, batch_size=len(group),
+                fused=False,
+                stage_seconds={
+                    "batch": wall,
+                    "select": run.stage_seconds.get("select", 0.0),
+                    "kernel": run.stage_seconds.get("kernel", 0.0),
+                },
+                run=run))
+        return entries
+
+    def _fold_tenants(self, tenants, run: RunResult, params: Dict) -> None:
+        """Fold one dispatch's measurements into each tenant's store."""
+        scalars = freeze_scalars(params)
+        bucket = size_bucket(params)
+        for name in tenants:
+            store = self.tenant(name).calibration
+            for selection in run.selections:
+                family = self._family_of.get(selection.strategy,
+                                             selection.strategy)
+                store.observe(family, scalars, bucket,
+                              selection.measured_seconds,
+                              selection.predicted_seconds,
+                              variant=selection.strategy)
