@@ -5,9 +5,21 @@ drivers in :mod:`repro.experiments` and prints the same rows/series the
 paper reports.  Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Fused-execution benchmarks (``-m fusedexec``) additionally accumulate
+their measured numbers (throughput, speedups) and the session writes
+them to ``BENCH_fusedexec.json`` in the working directory, so CI can
+archive the machine-readable series next to the rendered tables.
 """
 
+import json
+import os
+
 import pytest
+
+#: Metrics accumulated by fusedexec benchmarks this session:
+#: ``{metric_name: {...numbers...}}``.
+_FUSEDEXEC_RECORDS = {}
 
 
 def emit(result) -> None:
@@ -19,3 +31,20 @@ def emit(result) -> None:
 @pytest.fixture
 def report():
     return emit
+
+
+@pytest.fixture
+def fusedexec_record():
+    """Record one fusedexec metric for ``BENCH_fusedexec.json``."""
+    def record(name: str, **numbers) -> None:
+        _FUSEDEXEC_RECORDS[name] = numbers
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _FUSEDEXEC_RECORDS:
+        return
+    path = os.path.join(os.getcwd(), "BENCH_fusedexec.json")
+    with open(path, "w") as handle:
+        json.dump(_FUSEDEXEC_RECORDS, handle, indent=2, sort_keys=True)
+        handle.write("\n")

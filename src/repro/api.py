@@ -27,8 +27,8 @@ from typing import Optional, Union
 
 from .artifacts import ArtifactBundle
 from .compiler import AdapticCompiler, AdapticOptions, CompileError
-from .compiler.runtime import (CompiledProgram, InputLocation, RunResult,
-                               SegmentExecution)
+from .compiler.runtime import (BatchOutcome, CompiledProgram, InputLocation,
+                               RunResult, SegmentExecution)
 from .compiler.stats import SelectionStats
 from .errors import (AdmissionError, BundleArchError, BundleError,
                      BundleFormatError, BundleProgramError,
@@ -48,7 +48,7 @@ from .streamit import StreamProgram
 __all__ = [
     "compile", "load_bundle",
     "AdapticOptions", "CompileError", "CompiledProgram", "RunResult",
-    "SegmentExecution", "SelectionStats", "ArtifactBundle",
+    "BatchOutcome", "SegmentExecution", "SelectionStats", "ArtifactBundle",
     "ExecMode", "InputLocation", "Device",
     "ReproError", "SelectionError", "KernelExecutionError",
     "KernelTimeoutError", "TransferError", "CalibrationError",

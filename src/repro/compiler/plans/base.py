@@ -125,6 +125,21 @@ class KernelPlan(abc.ABC):
                 params: Dict[str, float]) -> DeviceArray:
         """Run functionally; returns the segment output buffer."""
 
+    def chain_stage(self, params: Dict[str, float]):
+        """Chain-level ``vector_body`` contract (segment-chain fusion).
+
+        Plans whose vectorized execution is a pure lane-independent map
+        over the iteration space return a
+        :class:`~repro.compiler.exprgen.ChainStage` describing it, which
+        lets the runtime fuse consecutive segments into one emitted
+        kernel.  The default is ``None`` — not fusable.  Plans whose
+        vector bodies depend on launch geometry (block-structured
+        reductions, stencil tiles, generic actors) must keep the default:
+        a whole-stream reduction consumes every lane's value, so it can
+        terminate a chain but never extend one.
+        """
+        return None
+
     @abc.abstractmethod
     def output_size(self, params: Dict[str, float]) -> int:
         """Number of elements the segment produces."""

@@ -41,16 +41,20 @@ from ..errors import (BundleFormatError, BundleProgramError, CalibrationError,
                       ModelSweepError, ReproError, SelectionError)
 from ..faults import KIND_NAN, KIND_RAISE, KIND_TIMEOUT
 from ..gpu import Device, EXEC_MODES, ExecMode, GPUSpec, MODE_REFERENCE, \
-    PCIE_BANDWIDTH_GBPS
+    MODE_VECTORIZED, PCIE_BANDWIDTH_GBPS
 from ..perfmodel import CalibrationStore, DecisionTable, FeedbackConfig, \
     PerformanceModel, Variant, geometric_points, size_bucket, sweep_axis
-from .exprgen import COMPILE_COUNTER, SOURCE_REGISTRY
-from .plans.base import IN, KernelPlan, RESTRUCTURE_COUNTER, freeze_scalars
-from .segments import Segment, SegmentDispatch
+from .costing import predicted_chain_fuse_gain
+from .exprgen import COMPILE_COUNTER, SOURCE_REGISTRY, compile_chain_fn
+from .plans.base import IN, KernelPlan, RESTRUCTURE_COUNTER, freeze_arrays, \
+    freeze_scalars
+from .segments import Segment, SegmentDispatch, chain_spans
 from .stats import CostCache, SelectionStats
 
 #: Layouts that need no host-side restructuring.
 _CANONICAL = {"interleaved", "rows"}
+
+_MISS = object()
 
 
 class InputLocation(str, enum.Enum):
@@ -206,6 +210,17 @@ class CompiledProgram:
         #: Serializes quarantine + re-selection during failure recovery
         #: (the cost cache and calibration store are unsynchronized).
         self._quarantine_lock = threading.Lock()
+        #: Fused-chain plan memo: (plan ids, frozen params) -> span table
+        #: (or ``None`` when nothing in the selection fuses).  Populated
+        #: during warmup/single-threaded runs; worker threads only read
+        #: memoized entries, mirroring the cost-cache discipline.
+        self._chain_cache: Dict[tuple, object] = {}
+        #: Arrays pinned so the id()-based chain-cache keys stay unambiguous.
+        self._chain_pins: List[object] = []
+        #: Cached process pools for ``run_batch(backend="process")``,
+        #: keyed by worker count; kept warm across batches and torn down
+        #: by :meth:`clear_warm_caches` / interpreter exit.
+        self._process_pools: Dict[int, object] = {}
 
     @property
     def stats(self) -> SelectionStats:
@@ -375,6 +390,82 @@ class CompiledProgram:
                 f"parameters, got {len(host_input)}")
         return host_input
 
+    def _fused_spans(self, plans: List[KernelPlan],
+                     params: Dict[str, float], device: Device):
+        """Fused-chain execution table for one selected plan chain.
+
+        Returns ``{start_index: (end_index, fn, output_sizes)}`` for every
+        span the cost model decides to fuse, or ``None`` when chain fusion
+        is off, unavailable (fault injection, non-vectorized executor), or
+        predicted unprofitable everywhere.  Memoized per (plan identity,
+        binding), so a warmed program's runs — including threaded batch
+        workers — never re-render chain sources or re-price spans.
+        """
+        if not getattr(self.options, "fuse_chains", False):
+            return None
+        if self.faults is not None:
+            # Fault injection targets per-segment launches; a fused span
+            # would launder injected faults past their segment rules.
+            return None
+        if ExecMode.coerce(device.exec_mode) != MODE_VECTORIZED:
+            return None
+        key = (tuple(id(plan) for plan in plans), freeze_scalars(params),
+               freeze_arrays(params))
+        cached = self._chain_cache.get(key, _MISS)
+        if cached is not _MISS:
+            return cached
+        spans = {}
+        min_gain = getattr(self.options, "fuse_min_gain", 1.05)
+        overhead = self.spec.kernel_launch_overhead_us * 1e-6
+        cost = self._selection_cost()
+        for start, end, stages in chain_spans(plans, params):
+            span_plans = plans[start:end]
+            gain = predicted_chain_fuse_gain(cost, span_plans, params,
+                                             overhead)
+            if gain < min_gain:
+                continue
+            chain_id = "->".join(self.segments[j].name
+                                 for j in range(start, end))
+            fn = compile_chain_fn(stages, params, chain_id=chain_id)
+            sizes = [plan.output_size(params) for plan in span_plans]
+            spans[start] = (end, fn, sizes)
+        value = spans or None
+        self._chain_pins.extend(plans)
+        for entry in (params or {}).values():
+            if not np.isscalar(entry) and entry is not None:
+                self._chain_pins.append(entry)
+        self._chain_cache[key] = value
+        return value
+
+    def _execute_fused_span(self, start: int, end: int, fn, sizes,
+                            plans: List[KernelPlan], device: Device,
+                            buf, params: Dict[str, float]):
+        """One fused-chain launch; returns the span's stage outputs.
+
+        Failures are wrapped exactly like per-segment ones, anchored at
+        the span's first segment so :meth:`_recover_segment` can
+        quarantine/re-select there (the replacement changes the plan
+        identity, which invalidates the memoized span and re-plans
+        fusion for the retry).
+        """
+        outs = [device.alloc(size, dtype=np.float64,
+                             name=f"{self.segments[j].name}.out")
+                for j, size in zip(range(start, end), sizes)]
+        try:
+            device.launch_fused_chain(
+                fn, [buf.data] + [out.data for out in outs])
+        except ReproError:
+            raise
+        except Exception as exc:
+            plan = plans[start]
+            raise KernelExecutionError(
+                f"fused chain {self.segments[start].name!r}.."
+                f"{self.segments[end - 1].name!r} failed: {exc}",
+                segment=self.segments[start].name, plan=plan.strategy,
+                params=dict(freeze_scalars(params)), kind="crash",
+                segment_index=start) from exc
+        return outs
+
     def _execute_plans(self, host_input: np.ndarray,
                        params: Dict[str, float],
                        plans: List[KernelPlan], device: Device,
@@ -403,11 +494,20 @@ class CompiledProgram:
         exec_compile_before = COMPILE_COUNTER.snapshot()
         selections: List[SegmentExecution] = []
         predicted = 0.0
+        fused_runs = 0
+        spans = self._fused_spans(plans, params, device)
+
+        def plan_seconds(plan):
+            if plan_costs is not None:
+                return plan_costs[id(plan)]
+            return self.cost.plan_seconds(plan, params)
+
         try:
             with device.scope():
                 buf = None
-                for index, (segment, plan) in enumerate(
-                        zip(self.segments, plans)):
+                index = 0
+                while index < len(self.segments):
+                    segment, plan = self.segments[index], plans[index]
                     if index == 0:
                         staged = host_input
                         if input_on_host:
@@ -419,10 +519,40 @@ class CompiledProgram:
                         buf = device.to_device(staged,
                                                name=f"{segment.name}.in")
                         stage["h2d"] = time.perf_counter() - t
-                    if plan_costs is not None:
-                        seconds = plan_costs[id(plan)]
-                    else:
-                        seconds = self.cost.plan_seconds(plan, params)
+                    span = spans.get(index) if spans else None
+                    if span is not None:
+                        end, fn, sizes = span
+                        t = time.perf_counter()
+                        outs = self._execute_fused_span(
+                            index, end, fn, sizes, plans, device, buf,
+                            params)
+                        span_wall = time.perf_counter() - t
+                        stage["kernel"] += span_wall
+                        fused_runs += 1
+                        # Per-segment report rows survive fusion: each
+                        # span member keeps its own predicted cost and a
+                        # predicted-share slice of the measured span
+                        # wall-clock (the feedback layer's observation
+                        # granularity is the segment).
+                        costs = [plan_seconds(plans[j])
+                                 for j in range(index, end)]
+                        total = sum(costs)
+                        for offset, j in enumerate(range(index, end)):
+                            share = (costs[offset] / total if total > 0
+                                     else 1.0 / len(costs))
+                            predicted += costs[offset]
+                            selections.append(SegmentExecution(
+                                segment=self.segments[j].name,
+                                kind=self.segments[j].kind,
+                                strategy=plans[j].strategy,
+                                predicted_seconds=costs[offset],
+                                optimizations=(list(plans[j].optimizations)
+                                               + ["chain_fusion"]),
+                                measured_seconds=span_wall * share))
+                        buf = outs[-1]
+                        index = end
+                        continue
+                    seconds = plan_seconds(plan)
                     predicted += seconds
                     t = time.perf_counter()
                     buf = self._execute_segment(segment, plan, index,
@@ -434,6 +564,7 @@ class CompiledProgram:
                         strategy=plan.strategy, predicted_seconds=seconds,
                         optimizations=list(plan.optimizations),
                         measured_seconds=plan_wall))
+                    index += 1
                 t = time.perf_counter()
                 output = device.to_host(buf)
                 stage["d2h"] = time.perf_counter() - t
@@ -461,6 +592,7 @@ class CompiledProgram:
         delta = SelectionStats(
             runs=1, expr_compiles=compiled.total,
             expr_hydrations=compiled.hydrated,
+            fused_chain_runs=fused_runs,
             restructure_builds=rebuilt.perm_builds,
             restructure_seconds=stage["restructure"],
             h2d_seconds=stage["h2d"], kernel_seconds=stage["kernel"],
@@ -721,6 +853,7 @@ class CompiledProgram:
                   params_list: Union[Dict[str, float],
                                      Sequence[Dict[str, float]]], *,
                   workers: int = 1,
+                  backend: str = "thread",
                   force: Optional[Dict[str, str]] = None,
                   input_on_host: Union[InputLocation, bool]
                   = InputLocation.HOST,
@@ -749,12 +882,25 @@ class CompiledProgram:
         device per worker (arenas are not thread-safe); per-run counters
         are merged into :attr:`stats` after the workers join.
 
+        ``backend="process"`` fans out over a
+        :class:`~concurrent.futures.ProcessPoolExecutor` instead: worker
+        processes warm up instantly from an artifact bundle, inputs and
+        outputs cross the boundary through
+        :mod:`multiprocessing.shared_memory` segments sized by
+        :attr:`wire_dtype`, and per-worker counters/observations are
+        merged back here after the join — escaping the GIL for
+        CPU-bound batches (see :mod:`repro.compiler.procpool`).
+
         ``feedback=True`` folds one measured observation per distinct
         scalar binding back into :attr:`calibration` after the batch
         completes (never from worker threads — the store is
         unsynchronized).  A binding whose first completed item succeeded
         contributes its observation even when other items failed.
         """
+        if backend not in ("thread", "process"):
+            raise ValueError(
+                f"unknown run_batch backend {backend!r}; expected "
+                f"'thread' or 'process'")
         location = InputLocation.coerce(input_on_host)
         exec_mode = ExecMode.coerce(exec_mode)
         inputs = list(inputs)
@@ -765,6 +911,12 @@ class CompiledProgram:
             raise ValueError(
                 f"run_batch got {len(inputs)} inputs but "
                 f"{len(params_list)} params")
+        if backend == "process":
+            from .procpool import run_batch_process
+            return run_batch_process(
+                self, inputs, params_list, workers=workers, force=force,
+                location=location, exec_mode=exec_mode, warm=warm,
+                feedback=feedback)
 
         # One selection (and optional warmup) per distinct scalar binding,
         # shared by every batch item at that binding.  The per-binding
@@ -899,6 +1051,7 @@ class CompiledProgram:
                  params_list: Union[Dict[str, float],
                                     Sequence[Dict[str, float]]], *,
                  workers: int = 1,
+                 backend: str = "thread",
                  force: Optional[Dict[str, str]] = None,
                  input_on_host: Union[InputLocation, bool]
                  = InputLocation.HOST,
@@ -916,11 +1069,13 @@ class CompiledProgram:
         without an exception use :meth:`run_batch` directly.  Feedback
         for bindings whose first completed item succeeded is applied
         *before* the raise — completed measurements are never discarded.
+        ``backend="process"`` selects the bundle-warmed process-pool
+        fan-out (see :meth:`run_batch`).
         """
         outcome = self.run_batch(
-            inputs, params_list, workers=workers, force=force,
-            input_on_host=input_on_host, exec_mode=exec_mode, warm=warm,
-            feedback=feedback)
+            inputs, params_list, workers=workers, backend=backend,
+            force=force, input_on_host=input_on_host,
+            exec_mode=exec_mode, warm=warm, feedback=feedback)
         if outcome.errors:
             failed = sorted(outcome.errors)
             first = outcome.errors[failed[0]]
@@ -1414,8 +1569,11 @@ class CompiledProgram:
         the memoized cost layer (model-argmin selections are runtime
         work the paper charges to the initial transfer, so a cold start
         re-evaluates them), and resets the calibration store — measured
-        feedback is warm state.  Baked dispatch tables survive — they
-        are compile-time products, not run-time warm state.
+        feedback is warm state.  Also evicts the fused-chain kernel
+        cache, shuts down any cached process pools, and sweeps this
+        process's shared-memory segments so ``/dev/shm`` never leaks.
+        Baked dispatch tables survive — they are compile-time products,
+        not run-time warm state.
         """
         for segment in self.segments:
             for plan in segment.plans:
@@ -1423,6 +1581,13 @@ class CompiledProgram:
         self.cost.clear()
         self._transfer_memo.clear()
         self.calibration.reset()
+        self._chain_cache.clear()
+        self._chain_pins.clear()
+        if self._process_pools:
+            from .procpool import shutdown_worker_pools
+            shutdown_worker_pools(self)
+        from .procpool import cleanup_shared_memory
+        cleanup_shared_memory()
         with self._device_lock:
             for device in self._run_devices.values():
                 device.arena.clear()

@@ -32,13 +32,13 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
-import math
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..compiler.costing import chain_seconds, fuse_gain
 from ..compiler.plans.base import freeze_scalars
 from ..compiler.runtime import RunResult
 from ..errors import AdmissionError, ServeError
@@ -79,6 +79,11 @@ class ServeConfig:
     max_delay_s: float = 0.002
     max_queue_depth: int = 256
     workers: int = 1
+    #: Executor backend for unfused dispatches: ``"thread"`` (shared
+    #: process, one device per worker thread) or ``"process"``
+    #: (bundle-warmed worker processes, shared-memory I/O — see
+    #: :mod:`repro.compiler.procpool`).
+    backend: str = "thread"
     exec_mode: Optional[ExecMode] = None
     fuse_axis: Optional[str] = None
     fuse_min_gain: float = 2.0
@@ -327,13 +332,9 @@ class Server:
         plans = self.compiled.select(params)
         fused = dict(params)
         fused[self.config.fuse_axis] = int(params[self.config.fuse_axis]) * k
-        base = sum(self.compiled.cost.plan_seconds(plan, params)
-                   for plan in plans)
-        fused_cost = sum(self.compiled.cost.plan_seconds(plan, fused)
-                         for plan in plans)
-        if fused_cost <= 0.0:
-            return math.inf
-        return (k * base) / fused_cost
+        base = chain_seconds(self.compiled.cost, plans, params)
+        fused_cost = chain_seconds(self.compiled.cost, plans, fused)
+        return fuse_gain(base, fused_cost, k)
 
     def _run_fused(self, group: List[PendingRequest]) -> List:
         started = time.perf_counter()
@@ -381,6 +382,7 @@ class Server:
             [r.host_input for r in group],
             [r.params for r in group],
             workers=self.config.workers,
+            backend=self.config.backend,
             exec_mode=self.config.exec_mode,
             feedback=self.config.feedback)
         wall = time.perf_counter() - started

@@ -191,3 +191,192 @@ class TestThirdTarget:
             plan = compiled.select({"n": 1 << 18, "r": 1})[0]
             assert plan.predicted_seconds(compiled.model,
                                           {"n": 1 << 18, "r": 1}) > 0
+
+
+class TestChainFusionRuntime:
+    """Whole-segment-chain fused execution (``fuse_chains=True``)."""
+
+    SQUARE_SRC = """
+def square(n):
+    for i in range(n):
+        x = pop()
+        push(x * x + 0.5)
+"""
+
+    def _program(self):
+        return StreamProgram(
+            Pipeline(Filter(SCALE_SRC, pop="n", push="n"),
+                     Filter(self.SQUARE_SRC, pop="n", push="n"),
+                     Filter(SUM_SRC, pop="n", push=1)),
+            params=["n", "a"], input_size="n")
+
+    def _compile(self, **kwargs):
+        options = AdapticOptions(integration=False, **kwargs)
+        return AdapticCompiler(TESLA_C2050, options).compile(self._program())
+
+    def test_fused_bit_identical_and_counted(self, rng):
+        from repro.gpu import ExecMode
+        data = rng.standard_normal(2048)
+        params = {"n": 2048, "a": 1.25}
+        plain = self._compile()
+        fused = self._compile(fuse_chains=True, fuse_min_gain=0.0)
+        baseline = plain.run(data, params, exec_mode=ExecMode.VECTORIZED)
+        result = fused.run(data, params, exec_mode=ExecMode.VECTORIZED)
+        assert result.output.tobytes() == baseline.output.tobytes()
+        assert fused.stats.fused_chain_runs == 1
+        # One launch covers the two map segments; the reduction keeps
+        # its own launches — strictly fewer than the unfused chain.
+        fdev = fused._run_devices[ExecMode.VECTORIZED]
+        pdev = plain._run_devices[ExecMode.VECTORIZED]
+        assert fdev.launch_count < pdev.launch_count
+        assert fdev.executor.fused_chain_launches == 1
+
+    def test_infinite_gain_guard_disables_fusion(self, rng):
+        from repro.gpu import ExecMode
+        fused = self._compile(fuse_chains=True,
+                              fuse_min_gain=float("inf"))
+        fused.run(rng.standard_normal(512), {"n": 512, "a": 2.0},
+                  exec_mode=ExecMode.VECTORIZED)
+        assert fused.stats.fused_chain_runs == 0
+
+    def test_reference_mode_never_fuses(self, rng):
+        fused = self._compile(fuse_chains=True, fuse_min_gain=0.0)
+        fused.run(rng.standard_normal(512), {"n": 512, "a": 2.0})
+        assert fused.stats.fused_chain_runs == 0
+
+    def test_clear_warm_caches_evicts_chain_kernels(self, rng):
+        from repro.compiler.exprgen import COMPILE_COUNTER
+        from repro.gpu import ExecMode
+        fused = self._compile(fuse_chains=True, fuse_min_gain=0.0)
+        data = rng.standard_normal(1024)
+        params = {"n": 1024, "a": 0.5}
+        fused.run(data, params, exec_mode=ExecMode.VECTORIZED)
+        before = COMPILE_COUNTER.snapshot()
+        fused.run(data, params, exec_mode=ExecMode.VECTORIZED)
+        assert COMPILE_COUNTER.since(before).total == 0  # warm
+        fused.clear_warm_caches()
+        before = COMPILE_COUNTER.snapshot()
+        fused.run(data, params, exec_mode=ExecMode.VECTORIZED)
+        assert COMPILE_COUNTER.since(before).total > 0   # cold again
+        assert fused.stats.fused_chain_runs == 3
+
+    def test_fused_chain_rides_artifact_bundle(self, rng, tmp_path):
+        from repro.compiler.exprgen import COMPILE_COUNTER, SOURCE_REGISTRY
+        from repro.gpu import ExecMode
+        data = rng.standard_normal(1024)
+        params = {"n": 1024, "a": 3.0}
+        # One program object for both compiles: auto-assigned pipeline
+        # names participate in the bundle's program fingerprint.
+        program = self._program()
+        options = AdapticOptions(integration=False, fuse_chains=True,
+                                 fuse_min_gain=0.0)
+        # save_bundle exports the process-global source registry, and
+        # load_bundle feeds the global hydration map — snapshot both so
+        # this test leaves no other suite's compiles hydration-eligible.
+        recorded = dict(SOURCE_REGISTRY._recorded)
+        loaded = dict(SOURCE_REGISTRY._loaded)
+        try:
+            warm = AdapticCompiler(TESLA_C2050, options).compile(program)
+            baseline = warm.run(data, params, exec_mode=ExecMode.VECTORIZED)
+            assert any(key.startswith("chain|")
+                       for key in SOURCE_REGISTRY.export())
+            path = tmp_path / "fused.bundle.json"
+            warm.save_bundle(str(path))
+            cold = AdapticCompiler(TESLA_C2050, options).compile(program)
+            cold.load_bundle(str(path))
+            # Simulate a fresh process: only bundle-loaded sources serve.
+            SOURCE_REGISTRY._recorded.clear()
+            before = COMPILE_COUNTER.snapshot()
+            result = cold.run(data, params, exec_mode=ExecMode.VECTORIZED)
+            delta = COMPILE_COUNTER.since(before)
+        finally:
+            SOURCE_REGISTRY._recorded.clear()
+            SOURCE_REGISTRY._recorded.update(recorded)
+            SOURCE_REGISTRY._loaded.clear()
+            SOURCE_REGISTRY._loaded.update(loaded)
+        assert delta.total == 0
+        assert delta.hydrated > 0
+        assert result.output.tobytes() == baseline.output.tobytes()
+        assert cold.stats.fused_chain_runs == 1
+
+
+@pytest.mark.fusedexec
+class TestProcessPoolBackend:
+    """``run_batch``/``run_many`` with ``backend="process"``."""
+
+    def _compiled(self):
+        prog = StreamProgram(
+            Pipeline(Filter(SCALE_SRC, pop="n", push="n"),
+                     Filter(SUM_SRC, pop="n", push=1)),
+            params=["n", "a"], input_size="n")
+        options = AdapticOptions(integration=False)
+        return AdapticCompiler(TESLA_C2050, options).compile(prog)
+
+    def test_outputs_match_threaded_and_stats_merge(self, rng):
+        compiled = self._compiled()
+        inputs = [rng.standard_normal(256) for _ in range(5)]
+        params = {"n": 256, "a": 2.0}
+        threaded = compiled.run_many(inputs, params, workers=2)
+        before = compiled.stats.snapshot()
+        pooled = compiled.run_many(inputs, params, workers=2,
+                                   backend="process")
+        delta = compiled.stats.since(before)
+        for a, b in zip(threaded, pooled):
+            assert np.array_equal(a.output, b.output)
+        # Worker deltas merged in the parent after the join: one run per
+        # item plus the parent-side warmup run.
+        assert delta.runs == len(inputs) + 1
+        assert all(result.stage_seconds["kernel"] >= 0
+                   for result in pooled)
+        compiled.clear_warm_caches()
+
+    def test_bundle_warmed_workers_compile_nothing(self, rng):
+        compiled = self._compiled()
+        params = {"n": 512, "a": 1.5}
+        compiled.warmup(params)      # parent compiles here, workers won't
+        inputs = [rng.standard_normal(512) for _ in range(4)]
+        before = compiled.stats.snapshot()
+        compiled.run_many(inputs, params, workers=2, backend="process")
+        delta = compiled.stats.since(before)
+        assert delta.expr_compiles == 0      # counter-asserted: zero
+        assert delta.expr_hydrations > 0     # bundle-hydrated instead
+        compiled.clear_warm_caches()
+
+    def test_per_index_failure_capture_parity(self, rng):
+        compiled = self._compiled()
+        params = {"n": 128, "a": 1.0}
+        good = [rng.standard_normal(128) for _ in range(3)]
+        bad = list(good)
+        bad[1] = np.zeros(5)                 # wrong size
+        threaded = compiled.run_batch(bad, params, workers=2)
+        pooled = compiled.run_batch(bad, params, workers=2,
+                                    backend="process")
+        for outcome in (threaded, pooled):
+            assert sorted(outcome.errors) == [1]
+            assert isinstance(outcome.errors[1], ValueError)
+            assert outcome.results[0] is not None
+            assert outcome.results[2] is not None
+        assert np.array_equal(threaded.results[0].output,
+                              pooled.results[0].output)
+        with pytest.raises(Exception) as exc_info:
+            compiled.run_many(bad, params, workers=2, backend="process")
+        assert getattr(exc_info.value, "batch_index", None) == 1
+        compiled.clear_warm_caches()
+
+    def test_unknown_backend_rejected(self, rng):
+        compiled = self._compiled()
+        with pytest.raises(ValueError, match="backend"):
+            compiled.run_batch([rng.standard_normal(128)],
+                               {"n": 128, "a": 1.0}, backend="mpi")
+
+    def test_shared_memory_swept(self, rng):
+        import os
+        compiled = self._compiled()
+        inputs = [rng.standard_normal(128) for _ in range(2)]
+        compiled.run_many(inputs, {"n": 128, "a": 1.0}, workers=2,
+                          backend="process")
+        compiled.clear_warm_caches()
+        if os.path.isdir("/dev/shm"):
+            leftovers = [name for name in os.listdir("/dev/shm")
+                         if name.startswith("psm_")]
+            assert leftovers == []
