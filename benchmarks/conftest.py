@@ -21,6 +21,10 @@ import pytest
 #: ``{metric_name: {...numbers...}}``.
 _FUSEDEXEC_RECORDS = {}
 
+#: Metrics accumulated by multiaxis benchmarks this session, written to
+#: ``BENCH_multiaxis.json`` (same contract as the fusedexec records).
+_MULTIAXIS_RECORDS = {}
+
 
 def emit(result) -> None:
     """Print a figure table (visible with ``-s``; captured otherwise)."""
@@ -41,10 +45,20 @@ def fusedexec_record():
     return record
 
 
+@pytest.fixture
+def multiaxis_record():
+    """Record one multiaxis metric for ``BENCH_multiaxis.json``."""
+    def record(name: str, **numbers) -> None:
+        _MULTIAXIS_RECORDS[name] = numbers
+    return record
+
+
 def pytest_sessionfinish(session, exitstatus):
-    if not _FUSEDEXEC_RECORDS:
-        return
-    path = os.path.join(os.getcwd(), "BENCH_fusedexec.json")
-    with open(path, "w") as handle:
-        json.dump(_FUSEDEXEC_RECORDS, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    for records, filename in ((_FUSEDEXEC_RECORDS, "BENCH_fusedexec.json"),
+                              (_MULTIAXIS_RECORDS, "BENCH_multiaxis.json")):
+        if not records:
+            continue
+        path = os.path.join(os.getcwd(), filename)
+        with open(path, "w") as handle:
+            json.dump(records, handle, indent=2, sort_keys=True)
+            handle.write("\n")

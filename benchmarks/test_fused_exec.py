@@ -23,6 +23,7 @@ import pytest
 from repro.compiler import AdapticCompiler, AdapticOptions
 from repro.gpu import MODE_VECTORIZED, TESLA_C2050
 from repro.streamit import Filter, Pipeline, StreamProgram
+from repro.compiler import RunOptions
 
 pytestmark = pytest.mark.fusedexec
 
@@ -95,19 +96,19 @@ class TestFusedChainThroughput:
             integration=False, fuse_chains=True,
             fuse_min_gain=0.0)).compile(_chain_program())
 
-        baseline = plain.run(data, params, exec_mode=MODE_VECTORIZED)
-        result = fused.run(data, params, exec_mode=MODE_VECTORIZED)
+        baseline = plain.run(data, params, options=RunOptions(exec_mode=MODE_VECTORIZED))
+        result = fused.run(data, params, options=RunOptions(exec_mode=MODE_VECTORIZED))
         assert result.output.tobytes() == baseline.output.tobytes()
         assert fused.stats.fused_chain_runs == 1
 
         started = time.perf_counter()
         for _ in range(CHAIN_REPEATS):
-            plain.run(data, params, exec_mode=MODE_VECTORIZED)
+            plain.run(data, params, options=RunOptions(exec_mode=MODE_VECTORIZED))
         plain_seconds = time.perf_counter() - started
 
         started = time.perf_counter()
         for _ in range(CHAIN_REPEATS):
-            fused.run(data, params, exec_mode=MODE_VECTORIZED)
+            fused.run(data, params, options=RunOptions(exec_mode=MODE_VECTORIZED))
         fused_seconds = time.perf_counter() - started
 
         assert fused.stats.fused_chain_runs == 1 + CHAIN_REPEATS
@@ -141,11 +142,10 @@ class TestProcessPoolThroughput:
             integration=False)).compile(_batch_program())
         inputs = [rng.standard_normal(BATCH_N) for _ in range(BATCH_ITEMS)]
         params = {"n": BATCH_N, "a": 1.5}
-        compiled.warmup(params, exec_mode=MODE_VECTORIZED)
+        compiled.warmup(params, options=RunOptions(exec_mode=MODE_VECTORIZED))
 
         started = time.perf_counter()
-        threaded = compiled.run_many(inputs, params, workers=BATCH_WORKERS,
-                                     exec_mode=MODE_VECTORIZED, warm=False)
+        threaded = compiled.run_many(inputs, params, options=RunOptions(workers=BATCH_WORKERS, exec_mode=MODE_VECTORIZED), warm=False)
         threaded_seconds = time.perf_counter() - started
 
         try:
@@ -153,13 +153,10 @@ class TestProcessPoolThroughput:
             # First call forks the pool and bundle-warms the workers;
             # measure the steady-state second call.
             compiled.run_many(inputs[:BATCH_WORKERS], params,
-                              workers=BATCH_WORKERS, backend="process",
-                              exec_mode=MODE_VECTORIZED, warm=False)
+                              options=RunOptions(workers=BATCH_WORKERS, backend="process", exec_mode=MODE_VECTORIZED), warm=False)
             started = time.perf_counter()
             pooled = compiled.run_many(inputs, params,
-                                       workers=BATCH_WORKERS,
-                                       backend="process",
-                                       exec_mode=MODE_VECTORIZED,
+                                       options=RunOptions(workers=BATCH_WORKERS, backend="process", exec_mode=MODE_VECTORIZED),
                                        warm=False)
             process_seconds = time.perf_counter() - started
             delta = compiled.stats.since(stats_before)

@@ -20,6 +20,7 @@ from repro import api
 from repro.apps import tmv
 from repro.perfmodel import (FeedbackConfig, selection_accuracy,
                              size_bucket)
+from repro.compiler import RunOptions
 
 pytestmark = pytest.mark.feedback
 
@@ -84,7 +85,7 @@ class TestWarmPathStaysCompileFree:
             observer=lambda plan, params: truth(plan, params))
         warm = compiled.stats.snapshot()
         compiled.recalibrate([params], feedback=config)
-        result = compiled.run(matrix, dict(params), feedback=True)
+        result = compiled.run(matrix, dict(params), options=RunOptions(feedback=True))
         delta = compiled.stats.since(warm)
 
         assert delta.feedback_observations >= 1

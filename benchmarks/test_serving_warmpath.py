@@ -21,6 +21,7 @@ from repro.compiler.exprgen import COMPILE_COUNTER
 from repro.compiler.plans.base import RESTRUCTURE_COUNTER
 from repro.gpu import (DeviceArray, MODE_REFERENCE, MODE_VECTORIZED,
                        TESLA_C2050)
+from repro.compiler import RunOptions
 
 pytestmark = pytest.mark.serving
 
@@ -42,13 +43,13 @@ class TestWarmRunIsZeroWork:
         for rows, cols in tmv.shape_sweep(SWEEP_ELEMENTS):
             matrix, _vec, params = tmv.make_input(rows, cols, rng)
             before = RESTRUCTURE_COUNTER.snapshot()
-            cold = compiled.run(matrix, params, exec_mode=MODE_VECTORIZED)
+            cold = compiled.run(matrix, params, options=RunOptions(exec_mode=MODE_VECTORIZED))
             cold_builds += RESTRUCTURE_COUNTER.since(before).perm_builds
 
             compile_before = COMPILE_COUNTER.snapshot()
             restructure_before = RESTRUCTURE_COUNTER.snapshot()
             stats_before = compiled.stats.snapshot()
-            warm = compiled.run(matrix, params, exec_mode=MODE_VECTORIZED)
+            warm = compiled.run(matrix, params, options=RunOptions(exec_mode=MODE_VECTORIZED))
 
             compiled_delta = COMPILE_COUNTER.since(compile_before)
             rebuilt = RESTRUCTURE_COUNTER.since(restructure_before)
@@ -71,9 +72,9 @@ class TestWarmRunIsZeroWork:
         compiled = _compile_tmv()
         rng = np.random.default_rng(3)
         matrix, _vec, params = tmv.make_input(32, SWEEP_ELEMENTS // 32, rng)
-        cold = compiled.run(matrix, params, exec_mode=mode)
+        cold = compiled.run(matrix, params, options=RunOptions(exec_mode=mode))
         for _ in range(3):
-            warm = compiled.run(matrix, params, exec_mode=mode)
+            warm = compiled.run(matrix, params, options=RunOptions(exec_mode=mode))
             assert warm.output.tobytes() == cold.output.tobytes()
         expected = tmv.reference(matrix, params["vec"], params["rows"],
                                  params["cols"])
@@ -84,11 +85,11 @@ class TestWarmRunIsZeroWork:
         compiled = _compile_tmv()
         rng = np.random.default_rng(11)
         matrix, _vec, params = tmv.make_input(64, 64, rng)
-        compiled.run(matrix, params, exec_mode=MODE_VECTORIZED)
+        compiled.run(matrix, params, options=RunOptions(exec_mode=MODE_VECTORIZED))
         device = compiled._run_devices[MODE_VECTORIZED]
         misses_before = device.arena.misses
         hits_before = device.arena.hits
-        compiled.run(matrix, params, exec_mode=MODE_VECTORIZED)
+        compiled.run(matrix, params, options=RunOptions(exec_mode=MODE_VECTORIZED))
         assert device.arena.misses == misses_before, \
             "warm run allocated fresh device buffers"
         assert device.arena.hits > hits_before
@@ -118,7 +119,7 @@ class TestRunManyThroughput:
             for _ in range(repeats):
                 cold_program.clear_warm_caches()
                 cold_outputs.append(cold_program.run(
-                    matrix, params, exec_mode=MODE_VECTORIZED).output)
+                    matrix, params, options=RunOptions(exec_mode=MODE_VECTORIZED)).output)
         cold_seconds = time.perf_counter() - started
 
         warm_program = _compile_tmv()
@@ -127,10 +128,10 @@ class TestRunManyThroughput:
             inputs.extend([matrix] * repeats)
             params_list.extend([params] * repeats)
         for _matrix, params in cases:
-            warm_program.warmup(params, exec_mode=MODE_VECTORIZED)
+            warm_program.warmup(params, options=RunOptions(exec_mode=MODE_VECTORIZED))
         started = time.perf_counter()
         results = warm_program.run_many(inputs, params_list,
-                                        exec_mode=MODE_VECTORIZED,
+                                        options=RunOptions(exec_mode=MODE_VECTORIZED),
                                         warm=False)
         warm_seconds = time.perf_counter() - started
 
@@ -145,10 +146,9 @@ class TestRunManyThroughput:
         compiled = _compile_tmv()
         rng = np.random.default_rng(5)
         matrix, _vec, params = tmv.make_input(32, 128, rng)
-        compiled.warmup(params, exec_mode=MODE_VECTORIZED)
+        compiled.warmup(params, options=RunOptions(exec_mode=MODE_VECTORIZED))
         before = COMPILE_COUNTER.snapshot()
-        results = compiled.run_many([matrix] * 8, params, workers=4,
-                                    exec_mode=MODE_VECTORIZED)
+        results = compiled.run_many([matrix] * 8, params, options=RunOptions(workers=4, exec_mode=MODE_VECTORIZED))
         assert COMPILE_COUNTER.since(before).total == 0
         first = results[0].output.tobytes()
         assert all(r.output.tobytes() == first for r in results)

@@ -18,6 +18,7 @@ from repro.apps import tmv
 from repro.compiler.exprgen import COMPILE_COUNTER, SOURCE_REGISTRY
 from repro.experiments import fig10
 from repro.gpu import DeviceArray
+from repro.compiler import RunOptions
 
 pytestmark = pytest.mark.artifacts
 
@@ -74,7 +75,7 @@ class TestFirstRequestLatency:
         warm = api.load_bundle(path)
         for mode in (api.ExecMode.REFERENCE, api.ExecMode.VECTORIZED):
             cold_out = np.asarray(cold.run(matrix, params,
-                                           exec_mode=mode).output)
+                                           options=RunOptions(exec_mode=mode)).output)
             warm_out = np.asarray(warm.run(matrix, params,
-                                           exec_mode=mode).output)
+                                           options=RunOptions(exec_mode=mode)).output)
             assert warm_out.tobytes() == cold_out.tobytes()

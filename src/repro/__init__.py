@@ -30,7 +30,7 @@ paper's workflow:
 
 from . import api
 from .compiler import (AdapticCompiler, AdapticOptions, CompiledProgram,
-                       CompileError, InputLocation, RunResult,
+                       CompileError, InputLocation, RunOptions, RunResult,
                        compile_program)
 from .errors import (CalibrationError, KernelExecutionError,
                      KernelTimeoutError, ModelSweepError, ReproError,
@@ -54,8 +54,9 @@ __all__ = [
     # compiler
     "AdapticCompiler", "AdapticOptions", "compile_program",
     "CompiledProgram", "CompileError", "RunResult",
-    # runtime enums / feedback
-    "ExecMode", "InputLocation", "CalibrationStore", "FeedbackConfig",
+    # runtime enums / options / feedback
+    "ExecMode", "InputLocation", "RunOptions", "CalibrationStore",
+    "FeedbackConfig",
     # robustness: error taxonomy + fault injection
     "ReproError", "SelectionError", "KernelExecutionError",
     "KernelTimeoutError", "TransferError", "CalibrationError",

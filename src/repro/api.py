@@ -7,15 +7,18 @@ nothing else::
 
     compiled = api.compile(program, arch="c2050")
     result = compiled.run(data, {"n": 1 << 20},
-                          exec_mode=api.ExecMode.VECTORIZED)
+                          options=api.RunOptions(
+                              exec_mode=api.ExecMode.VECTORIZED))
     print(result.output, compiled.stats.summary())
 
 :func:`compile` is the only function defined here; everything else is a
 re-export of the types an application touches (:class:`CompiledProgram`,
-:class:`RunResult`, :class:`SelectionStats`, :class:`ExecMode`,
-:class:`InputLocation`, the feedback/calibration types, the serving
-front door (:class:`Server` / :class:`ServeConfig`), and the GPU
-targets).  The facade adds no behavior, so the internal modules can keep
+:class:`RunResult`, :class:`RunOptions`, :class:`SelectionStats`,
+:class:`ExecMode`, :class:`InputLocation`, the selection fast-path types
+(:class:`AxisSpec` / :class:`RegionTable` / :class:`DecisionTable` /
+:class:`SegmentDispatch` / :class:`RegionDispatch`), the
+feedback/calibration types, the serving front door (:class:`Server` /
+:class:`ServeConfig`), and the GPU targets).  The facade adds no behavior, so the internal modules can keep
 moving without breaking callers; the historical entry points
 (``repro.compile_program``, ``repro.compiler.AdapticCompiler``) remain
 importable but new code should come through here.
@@ -28,7 +31,8 @@ from typing import Optional, Union
 from .artifacts import ArtifactBundle
 from .compiler import AdapticCompiler, AdapticOptions, CompileError
 from .compiler.runtime import (BatchOutcome, CompiledProgram, InputLocation,
-                               RunResult, SegmentExecution)
+                               RunOptions, RunResult, SegmentExecution)
+from .compiler.segments import RegionDispatch, SegmentDispatch
 from .compiler.stats import SelectionStats
 from .errors import (AdmissionError, BundleArchError, BundleError,
                      BundleFormatError, BundleProgramError,
@@ -39,7 +43,8 @@ from .errors import (AdmissionError, BundleArchError, BundleError,
 from .faults import FaultInjector, FaultPlan
 from .gpu import (Device, ExecMode, GPUSpec, GTX_285, GTX_480, TARGETS,
                   TESLA_C2050, get_target)
-from .perfmodel import (CalibrationStore, FeedbackConfig, Observation,
+from .perfmodel import (AxisSpec, CalibrationStore, DecisionTable,
+                        FeedbackConfig, Observation, RegionTable,
                         selection_accuracy, size_bucket)
 from .serve import (Priority, ServeConfig, ServeResult, Server,
                     TenantConfig)
@@ -49,7 +54,9 @@ __all__ = [
     "compile", "load_bundle",
     "AdapticOptions", "CompileError", "CompiledProgram", "RunResult",
     "BatchOutcome", "SegmentExecution", "SelectionStats", "ArtifactBundle",
-    "ExecMode", "InputLocation", "Device",
+    "ExecMode", "InputLocation", "RunOptions", "Device",
+    "AxisSpec", "RegionTable", "DecisionTable",
+    "SegmentDispatch", "RegionDispatch",
     "ReproError", "SelectionError", "KernelExecutionError",
     "KernelTimeoutError", "TransferError", "CalibrationError",
     "ModelSweepError", "ServeError", "AdmissionError",

@@ -5,8 +5,8 @@ Each module exposes ``build_*`` functions returning a
 implementation and a FLOP counter for GFLOPS reporting.
 """
 
-from . import (bicgstab, blas1, convolution, insensitive, montecarlo,
-               scalar_product, stencil2d, svm, tmv)
+from . import (bicgstab, blas1, convolution, imagepipe, insensitive,
+               montecarlo, scalar_product, stencil2d, svm, tmv)
 
 #: app name -> (StreamProgram builder, description).  Shared by the CLI
 #: and by :func:`repro.api.load_bundle`, which resolves a bundle's
@@ -21,6 +21,7 @@ BUILDERS = {
                        "SDK scalarProd (many vector pairs)"),
     "montecarlo": (montecarlo.build, "SDK MonteCarlo option pricing"),
     "ocean_fft": (stencil2d.build, "oceanFFT surface stencil"),
+    "imagepipe": (imagepipe.build, "tone map + blur image pipeline"),
     "convolution": (convolution.build, "separable convolution"),
     "blackscholes": (insensitive.build_blackscholes,
                      "BlackScholes option pricing"),
@@ -30,4 +31,5 @@ BUILDERS = {
 }
 
 __all__ = ["blas1", "tmv", "scalar_product", "montecarlo", "stencil2d",
-           "convolution", "bicgstab", "svm", "insensitive", "BUILDERS"]
+           "convolution", "bicgstab", "svm", "insensitive", "imagepipe",
+           "BUILDERS"]

@@ -1,0 +1,77 @@
+"""Image pipeline: tone map then 5-point blur on a ``width x height`` grid.
+
+The multi-axis benchmark app: unlike :mod:`repro.apps.stencil2d` (one
+``size`` axis with the row width pinned), both grid axes are declared
+variant dimensions, so the winning kernel — and the winning super-tile
+geometry — moves with the *shape* of the image, not just its area.  Wide
+thin images want wide flat tiles; tall narrow images want the opposite;
+small images want whatever keeps enough blocks in flight.  Compiling
+with pruning bakes a :class:`~repro.perfmodel.RegionTable` over
+``(width, height)`` instead of a 1-D decision table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..streamit import Filter, Pipeline, StreamProgram
+
+#: Reinhard-style range compression: elementwise, shape-insensitive.
+TONE_MAP_SRC = """
+def tone_map(width, height):
+    for i in range(width * height):
+        v = pop()
+        push(v / (1.0 + abs(v)))
+"""
+
+#: Guarded 5-point box blur; border cells pass through.  The ``width``
+#: displacement in the vertical neighbors is what marks the stencil 2-D.
+BLUR_SRC = """
+def blur_point(width, height):
+    for index in range(width * height):
+        if (index % width >= 1) and (index % width < width - 1) \
+                and (index >= width) and (index < width * height - width):
+            push(0.2 * (peek(index)
+                        + peek(index - width) + peek(index + width)
+                        + peek(index - 1) + peek(index + 1)))
+        else:
+            push(peek(index))
+    for j in range(width * height):
+        _ = pop()
+"""
+
+
+def build(input_ranges=None) -> StreamProgram:
+    tone = Filter(TONE_MAP_SRC, pop="width * height", push="width * height",
+                  name="tone_map")
+    blur = Filter(BLUR_SRC, pop="width * height", push="width * height",
+                  peek="width * height", name="blur_point")
+    return StreamProgram(
+        Pipeline(tone, blur),
+        params=["width", "height"],
+        input_size="width * height",
+        input_ranges=input_ranges or {"width": (32, 4096),
+                                      "height": (32, 4096)},
+        name="image_pipeline")
+
+
+def make_input(width: int, height: int, rng=None):
+    rng = rng or np.random.default_rng(0)
+    data = rng.standard_normal(width * height)
+    return data, {"width": width, "height": height}
+
+
+def reference(data: np.ndarray, width: int, height: int) -> np.ndarray:
+    flat = np.asarray(data, dtype=np.float64).reshape(-1)
+    toned = flat / (1.0 + np.abs(flat))
+    grid = toned.reshape(height, width)
+    out = grid.copy()
+    out[1:-1, 1:-1] = 0.2 * (grid[1:-1, 1:-1]
+                             + grid[:-2, 1:-1] + grid[2:, 1:-1]
+                             + grid[1:-1, :-2] + grid[1:-1, 2:])
+    return out.reshape(-1)
+
+
+def flops(params) -> float:
+    # 3 ops/cell for the tone map + 6 for the blur interior.
+    return 9.0 * params["width"] * params["height"]

@@ -176,6 +176,16 @@ def program_fingerprint(program, options_label: str = "",
     return f"{program.name}:{digest[:16]}"
 
 
+def _count_region_leaves(node) -> int:
+    """Leaf count of a serialized region-table node (bundle inspect)."""
+    if not node:
+        return 0
+    if "winner" in node:
+        return 1
+    return (_count_region_leaves(node.get("low"))
+            + _count_region_leaves(node.get("high")))
+
+
 def _repro_version() -> str:
     from . import __version__
     return __version__
@@ -321,6 +331,16 @@ class ArtifactBundle:
                 f"{len(dispatches)} dispatch table(s), "
                 f"{len(perms)} permutation(s)")
             for dispatch in dispatches:
+                if dispatch.get("kind") == "region":
+                    region = dispatch.get("region") or {}
+                    axes = region.get("axes") or []
+                    box = " x ".join(f"{name}[{lo}, {hi}]"
+                                     for name, lo, hi, _ in axes)
+                    lines.append(
+                        f"    region {box}: "
+                        f"{_count_region_leaves(region.get('root'))} "
+                        f"region(s)")
+                    continue
                 table = dispatch.get("table") or {}
                 subranges = table.get("subranges") or []
                 span = (f"[{subranges[0][0]}, {subranges[-1][1]}]"

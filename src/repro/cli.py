@@ -22,8 +22,10 @@ import sys
 from typing import List, Optional
 
 from . import api, apps
-from .experiments import code_size, fig01, fig09, fig10, fig11, fig12, sec53
+from .experiments import (code_size, fig01, fig09, fig10, fig11, fig12,
+                          multiaxis, sec53)
 from .gpu import TARGETS, get_target
+from .compiler import RunOptions
 
 #: app name -> (StreamProgram builder, description); shared registry.
 _APP_BUILDERS = apps.BUILDERS
@@ -40,6 +42,7 @@ def _figure_runners(spec):
         "fig12": lambda: print(fig12.run().render()),
         "sec53": lambda: print(sec53.run(spec).render()),
         "code_size": lambda: print(code_size.run(spec).render()),
+        "multiaxis": lambda: print(multiaxis.run(spec).render()),
     }
 
 
@@ -51,7 +54,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="figures | apps | all | report | describe | "
                              "calibration | health | serve-bench | bundle | "
                              "fig01 | fig09 | fig10 | fig11 | fig12 | sec53 "
-                             "| code_size")
+                             "| code_size | multiaxis")
     parser.add_argument("name", nargs="?",
                         help="application name (describe/calibration) or "
                              "bundle action (save/load/inspect)")
@@ -73,6 +76,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--ranges", action="store_true",
                         help="with describe: print per-variant operating "
                              "input ranges")
+    parser.add_argument("--tables", action="store_true",
+                        help="with describe: print baked dispatch tables "
+                             "(1-D subranges or k-d region maps)")
     parser.add_argument("--workers", type=int, default=2,
                         help="with health: run_many worker threads")
     parser.add_argument("--elements", type=int, default=None,
@@ -131,8 +137,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"describe needs an app name from: "
                 f"{sorted(_APP_BUILDERS)}")
         builder, _description = _APP_BUILDERS[args.name]
-        compiled = api.compile(builder(), arch=spec)
-        print(compiled.describe())
+        options = api.AdapticOptions(prune=True) if args.tables else None
+        compiled = api.compile(builder(), arch=spec, options=options)
+        print(compiled.describe(tables=args.tables))
         if args.ranges:
             print()
             extra = {"r": 1} if "r" in compiled.program.params else {}
@@ -149,12 +156,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         name = args.name or "sdot"
         if name == "tmv":
             report = fig10.calibration_report(spec=spec, bias=args.bias)
+        elif name == "imagepipe":
+            report = multiaxis.calibration_report(spec=spec, bias=args.bias)
         elif name in reductions:
             report = fig09.calibration_report(name, spec=spec,
                                               bias=args.bias)
         else:
             parser.error(f"calibration needs an app name from: "
-                         f"{sorted(reductions + ('tmv',))}")
+                         f"{sorted(reductions + ('tmv', 'imagepipe'))}")
         print(f"# feedback-directed selection recovery — {name} "
               f"on {spec.name}")
         for key, value in report.items():
@@ -288,7 +297,7 @@ def _health(spec, workers: int = 2, total_elements: int = 1 << 10) -> int:
         params_list.append(params)
 
     clean = api.compile(apps_mod.tmv.build(), arch=spec)
-    clean_results = clean.run_many(inputs, params_list, workers=workers)
+    clean_results = clean.run_many(inputs, params_list, options=RunOptions(workers=workers))
     victim = clean_results[0].selections[0].strategy
 
     injector = FaultInjector(
@@ -296,7 +305,7 @@ def _health(spec, workers: int = 2, total_elements: int = 1 << 10) -> int:
     guarded = api.compile(apps_mod.tmv.build(), arch=spec,
                           options=api.AdapticOptions(faults=injector))
     injected_results = guarded.run_many(inputs, params_list,
-                                        workers=workers)
+                                        options=RunOptions(workers=workers))
 
     identical = all(
         np.array_equal(a.output, b.output)

@@ -2,13 +2,15 @@
 
 from .adaptic import (AdapticCompiler, AdapticOptions, CompileError,
                       compile_program)
-from .runtime import (CompiledProgram, InputLocation, RunResult,
+from .runtime import (CompiledProgram, InputLocation, RunOptions, RunResult,
                       SegmentExecution)
-from .segments import Segment, SegmentDispatch
+from .segments import RegionDispatch, Segment, SegmentDispatch
 from .stats import CostCache, SelectionStats
 
 __all__ = [
     "AdapticCompiler", "AdapticOptions", "compile_program", "CompileError",
-    "CompiledProgram", "InputLocation", "RunResult", "SegmentExecution",
-    "Segment", "SegmentDispatch", "CostCache", "SelectionStats",
+    "CompiledProgram", "InputLocation", "RunOptions", "RunResult",
+    "SegmentExecution",
+    "Segment", "SegmentDispatch", "RegionDispatch", "CostCache",
+    "SelectionStats",
 ]

@@ -592,6 +592,20 @@ class AdapticCompiler:
         if self.options.memory:
             plans.append(TiledStencilPlan(self.spec, name, shape, pattern,
                                           self.options.threads))
+            if pattern.is_2d:
+                # Fixed-geometry super-tile variants: each bakes one tile
+                # shape into its kernel, making tile geometry a selectable
+                # dimension (wide flat tiles for wide thin grids, square
+                # tiles for square ones) instead of a per-call recomputed
+                # heuristic.  The adaptive plan above stays as the
+                # everything-else fallback.
+                for tile_w, tile_h in ((32, 4), (32, 16), (128, 4)):
+                    fixed = TiledStencilPlan(self.spec, name, shape, pattern,
+                                             self.options.threads,
+                                             tile=(tile_w, tile_h))
+                    fixed.strategy = (f"stencil.super_tile"
+                                      f"@{tile_w}x{tile_h}")
+                    plans.append(fixed)
         return Segment(name=name, kind="stencil", plans=plans,
                        input_size=lambda p: shape.size(p),
                        output_size=lambda p: shape.size(p))

@@ -44,8 +44,8 @@ import numpy as np
 from ..errors import (KernelExecutionError, KernelTimeoutError,
                       SelectionError, TransferError)
 from .plans.base import freeze_scalars
-from .runtime import (BatchOutcome, FeedbackConfig, InputLocation, RunResult,
-                      SegmentExecution)
+from .runtime import (BatchOutcome, FeedbackConfig, InputLocation, RunOptions,
+                      RunResult, SegmentExecution)
 from .stats import SelectionStats
 
 #: Parent-created shared-memory segments still live: name -> SharedMemory.
@@ -216,8 +216,8 @@ def _worker_run(task: dict) -> dict:
         host_input = np.array(window)
         result = compiled.run(
             host_input, task["params"], force=task["force"],
-            input_on_host=task["location"],
-            exec_mode=task["exec_mode"])
+            options=RunOptions(location=task["location"],
+                               exec_mode=task["exec_mode"]))
         out = np.ndarray(task["out_count"], dtype=dtype,
                          buffer=shm_out.buf,
                          offset=task["out_offset"] * dtype.itemsize)
@@ -311,8 +311,9 @@ def run_batch_process(compiled, inputs: List[np.ndarray],
         if key in selections:
             continue
         if warm:
-            compiled.warmup(params, force=force, input_on_host=location,
-                            exec_mode=exec_mode)
+            compiled.warmup(params, force=force,
+                            options=RunOptions(location=location,
+                                               exec_mode=exec_mode))
         started = time.perf_counter()
         selections[key] = compiled.select(params, force,
                                           input_on_host=location)

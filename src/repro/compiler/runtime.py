@@ -42,13 +42,14 @@ from ..errors import (BundleFormatError, BundleProgramError, CalibrationError,
 from ..faults import KIND_NAN, KIND_RAISE, KIND_TIMEOUT
 from ..gpu import Device, EXEC_MODES, ExecMode, GPUSpec, MODE_REFERENCE, \
     MODE_VECTORIZED, PCIE_BANDWIDTH_GBPS
-from ..perfmodel import CalibrationStore, DecisionTable, FeedbackConfig, \
-    PerformanceModel, Variant, geometric_points, size_bucket, sweep_axis
+from ..perfmodel import AxisSpec, CalibrationStore, DecisionTable, \
+    FeedbackConfig, PerformanceModel, RegionTable, Variant, geometric_points, \
+    size_bucket, sweep_axis, sweep_region
 from .costing import predicted_chain_fuse_gain
 from .exprgen import COMPILE_COUNTER, SOURCE_REGISTRY, compile_chain_fn
 from .plans.base import IN, KernelPlan, RESTRUCTURE_COUNTER, freeze_arrays, \
     freeze_scalars
-from .segments import Segment, SegmentDispatch, chain_spans
+from .segments import RegionDispatch, Segment, SegmentDispatch, chain_spans
 from .stats import CostCache, SelectionStats
 
 #: Layouts that need no host-side restructuring.
@@ -88,6 +89,100 @@ class InputLocation(str, enum.Enum):
                 DeprecationWarning, stacklevel=stacklevel)
             return cls.HOST if value else cls.DEVICE
         return cls(value)
+
+
+#: Sentinel distinguishing "keyword not passed" from any real value, so
+#: the legacy run keywords can warn exactly once per explicit use.
+_UNSET = object()
+
+
+@dataclasses.dataclass
+class RunOptions:
+    """Execution options for ``run`` / ``warmup`` / ``run_batch`` /
+    ``run_many`` (and, via :class:`~repro.serve.ServeConfig`, the serving
+    front door).
+
+    Consolidates the per-call keyword sprawl accreted over PRs 3-8
+    (``exec_mode``, ``input_on_host``, ``feedback``, ``workers``,
+    ``backend``) into one value that can be built once and reused across
+    calls.  The legacy keywords keep working on every entry point through
+    the established coercion pattern — each explicitly-passed one emits
+    exactly one :class:`DeprecationWarning` and produces bit-identical
+    results.
+
+    ``workers`` and ``backend`` only affect the batch entry points;
+    ``run`` / ``warmup`` ignore them.
+    """
+
+    #: Executor path; ``None`` defers to the program's default mode.
+    exec_mode: Optional[ExecMode] = None
+    #: Where the input lives when the call is made.
+    location: InputLocation = InputLocation.HOST
+    #: Fold measured times back into calibration (bool, or a
+    #: :class:`FeedbackConfig` overriding the program's policy).
+    feedback: Union[bool, FeedbackConfig] = False
+    #: Batch fan-out width (``run_batch`` / ``run_many`` only).
+    workers: int = 1
+    #: Batch executor backend: ``"thread"`` or ``"process"``.
+    backend: str = "thread"
+
+    def __post_init__(self):
+        self.exec_mode = ExecMode.coerce(self.exec_mode, stacklevel=4)
+        self.location = InputLocation.coerce(self.location, stacklevel=4)
+        if self.backend not in ("thread", "process"):
+            raise ValueError(
+                f"unknown run_batch backend {self.backend!r}; expected "
+                f"'thread' or 'process'")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+
+def _resolve_run_options(options: Optional[RunOptions],
+                         legacy: Dict[str, object],
+                         stacklevel: int = 4) -> RunOptions:
+    """Merge deprecated per-call keywords over ``options``.
+
+    Every legacy keyword that was explicitly passed (is not the
+    ``_UNSET`` sentinel) emits exactly one :class:`DeprecationWarning`
+    and overrides the corresponding :class:`RunOptions` field.  Values
+    that would themselves warn on coercion (``input_on_host`` booleans,
+    ``exec_mode`` strings) are converted directly — the keyword warning
+    already covers the migration, so each call site warns once, not
+    twice.
+    """
+    supplied = {name: value for name, value in legacy.items()
+                if value is not _UNSET}
+    if not supplied:
+        return options if options is not None else RunOptions()
+    opts = (dataclasses.replace(options) if options is not None
+            else RunOptions())
+    hints = {
+        "exec_mode": "exec_mode=...",
+        "input_on_host": "location=...",
+        "feedback": "feedback=...",
+        "workers": "workers=...",
+        "backend": "backend=...",
+    }
+    for name, value in supplied.items():
+        warnings.warn(
+            f"the {name!r} keyword is deprecated; pass "
+            f"options=RunOptions({hints[name]}) instead",
+            DeprecationWarning, stacklevel=stacklevel)
+        if name == "input_on_host":
+            if isinstance(value, bool):
+                value = (InputLocation.HOST if value
+                         else InputLocation.DEVICE)
+            opts.location = InputLocation(value)
+        elif name == "exec_mode":
+            if value is not None and not isinstance(value, ExecMode):
+                try:
+                    value = ExecMode(value)
+                except ValueError:
+                    pass      # downstream validation names the modes
+            opts.exec_mode = value
+        else:
+            setattr(opts, name, value)
+    return opts
 
 
 class _CalibratedCost:
@@ -303,6 +398,8 @@ class CompiledProgram:
                     if winner is not None:
                         plan = segment.plan_named(winner)
                         stats.table_hits += 1
+                        if type(segment.dispatch) is RegionDispatch:
+                            stats.region_hits += 1
                 if plan is None:
                     if segment.dispatch is not None:
                         stats.table_fallbacks += 1
@@ -763,19 +860,25 @@ class CompiledProgram:
             return result, delta, plans, plan_costs
 
     def run(self, host_input: np.ndarray, params: Dict[str, float], *,
+            options: Optional[RunOptions] = None,
             device: Optional[Device] = None,
             force: Optional[Dict[str, str]] = None,
-            input_on_host: Union[InputLocation, bool] = InputLocation.HOST,
-            exec_mode: Optional[ExecMode] = None,
-            feedback: Union[bool, FeedbackConfig] = False) -> RunResult:
+            input_on_host=_UNSET, exec_mode=_UNSET,
+            feedback=_UNSET) -> RunResult:
         """Execute functionally on the simulator device.
 
-        ``input_on_host=InputLocation.DEVICE`` models data already
+        Execution options come in one :class:`RunOptions` value
+        (``options=``); the historical ``input_on_host`` /
+        ``exec_mode`` / ``feedback`` keywords still work, each emitting
+        one :class:`DeprecationWarning` and overriding the corresponding
+        ``options`` field with bit-identical behavior.
+
+        ``options.location=InputLocation.DEVICE`` models data already
         resident on the device: selection is constrained to plans that
         need no host-side restructuring (the ``_eligible`` contract), and
         none is applied.
 
-        ``exec_mode`` selects the executor path
+        ``options.exec_mode`` selects the executor path
         (:attr:`ExecMode.REFERENCE` or :attr:`ExecMode.VECTORIZED`); it
         overrides the mode of a passed-in ``device`` and otherwise
         selects a program-owned persistent device.  Both paths produce
@@ -790,15 +893,19 @@ class CompiledProgram:
         wall-clocks land on :attr:`RunResult.stage_seconds` and aggregate
         into :attr:`stats`.
 
-        ``feedback=True`` folds this run's measured per-segment times
-        back into :attr:`calibration` after execution (and may spend a
-        bounded probe on a runner-up variant — see
+        ``options.feedback=True`` folds this run's measured per-segment
+        times back into :attr:`calibration` after execution (and may
+        spend a bounded probe on a runner-up variant — see
         :meth:`_apply_feedback`); pass a :class:`FeedbackConfig` to
         override :attr:`feedback` for this call.  The default leaves the
         calibration state untouched.
         """
-        location = InputLocation.coerce(input_on_host)
-        exec_mode = ExecMode.coerce(exec_mode)
+        opts = _resolve_run_options(options, {
+            "input_on_host": input_on_host, "exec_mode": exec_mode,
+            "feedback": feedback})
+        location = opts.location
+        exec_mode = opts.exec_mode
+        feedback = opts.feedback
         device = self._resolve_device(device, exec_mode)
         params = dict(params)
         host_input = self._validate_input(host_input, params)
@@ -827,40 +934,40 @@ class CompiledProgram:
         return result
 
     def warmup(self, params: Dict[str, float], *,
+               options: Optional[RunOptions] = None,
                force: Optional[Dict[str, str]] = None,
-               input_on_host: Union[InputLocation, bool] = InputLocation.HOST,
-               exec_mode: Optional[ExecMode] = None,
-               feedback: Union[bool, FeedbackConfig] = False) -> RunResult:
+               input_on_host=_UNSET, exec_mode=_UNSET,
+               feedback=_UNSET) -> RunResult:
         """Prime every warm cache for one parameter binding.
 
         Runs the program once on a zero input of the expected size:
         selection is decided (and memoized), per-plan kernels are
         compiled into the warm caches, restructure permutations are
         built, and the owned device's arena is stocked.  The next
-        ``run()`` at these scalars is a pure warm path.
+        ``run()`` at these scalars is a pure warm path.  Accepts the
+        same :class:`RunOptions` / deprecated legacy keywords as
+        :meth:`run`.
         """
+        opts = _resolve_run_options(options, {
+            "input_on_host": input_on_host, "exec_mode": exec_mode,
+            "feedback": feedback})
         params = dict(params)
         if self.program.input_size is not None:
             expected = self.program.input_size.evaluate(params)
         else:
             expected = self.segments[0].input_size(params)
         zeros = np.zeros(int(expected), dtype=self.wire_dtype)
-        return self.run(zeros, params, force=force,
-                        input_on_host=input_on_host, exec_mode=exec_mode,
-                        feedback=feedback)
+        return self.run(zeros, params, force=force, options=opts)
 
     def run_batch(self, inputs: Sequence[np.ndarray],
                   params_list: Union[Dict[str, float],
                                      Sequence[Dict[str, float]]], *,
-                  workers: int = 1,
-                  backend: str = "thread",
+                  options: Optional[RunOptions] = None,
                   force: Optional[Dict[str, str]] = None,
-                  input_on_host: Union[InputLocation, bool]
-                  = InputLocation.HOST,
-                  exec_mode: Optional[ExecMode] = None,
                   warm: bool = True,
-                  feedback: Union[bool, FeedbackConfig] = False
-                  ) -> BatchOutcome:
+                  workers=_UNSET, backend=_UNSET,
+                  input_on_host=_UNSET, exec_mode=_UNSET,
+                  feedback=_UNSET) -> BatchOutcome:
         """Batch entry point with per-index outcomes and no batch abort.
 
         The serving front door's hook: identical semantics to
@@ -896,13 +1003,23 @@ class CompiledProgram:
         completes (never from worker threads — the store is
         unsynchronized).  A binding whose first completed item succeeded
         contributes its observation even when other items failed.
+
+        Execution options come in one :class:`RunOptions` value
+        (``options=``); the historical ``workers`` / ``backend`` /
+        ``input_on_host`` / ``exec_mode`` / ``feedback`` keywords still
+        work, each emitting one :class:`DeprecationWarning`.
         """
-        if backend not in ("thread", "process"):
+        opts = _resolve_run_options(options, {
+            "workers": workers, "backend": backend,
+            "input_on_host": input_on_host, "exec_mode": exec_mode,
+            "feedback": feedback})
+        if opts.backend not in ("thread", "process"):
             raise ValueError(
-                f"unknown run_batch backend {backend!r}; expected "
+                f"unknown run_batch backend {opts.backend!r}; expected "
                 f"'thread' or 'process'")
-        location = InputLocation.coerce(input_on_host)
-        exec_mode = ExecMode.coerce(exec_mode)
+        workers, backend = opts.workers, opts.backend
+        location, exec_mode = opts.location, opts.exec_mode
+        feedback = opts.feedback
         inputs = list(inputs)
         if isinstance(params_list, dict):
             params_list = [params_list] * len(inputs)
@@ -931,8 +1048,7 @@ class CompiledProgram:
                 continue
             if warm:
                 self.warmup(params, force=force,
-                            input_on_host=location,
-                            exec_mode=exec_mode)
+                            options=dataclasses.replace(opts, feedback=False))
             started = time.perf_counter()
             plans = self.select(params, force, input_on_host=location)
             select_seconds[key] = time.perf_counter() - started
@@ -1050,15 +1166,12 @@ class CompiledProgram:
     def run_many(self, inputs: Sequence[np.ndarray],
                  params_list: Union[Dict[str, float],
                                     Sequence[Dict[str, float]]], *,
-                 workers: int = 1,
-                 backend: str = "thread",
+                 options: Optional[RunOptions] = None,
                  force: Optional[Dict[str, str]] = None,
-                 input_on_host: Union[InputLocation, bool]
-                 = InputLocation.HOST,
-                 exec_mode: Optional[ExecMode] = None,
                  warm: bool = True,
-                 feedback: Union[bool, FeedbackConfig] = False
-                 ) -> List[RunResult]:
+                 workers=_UNSET, backend=_UNSET,
+                 input_on_host=_UNSET, exec_mode=_UNSET,
+                 feedback=_UNSET) -> List[RunResult]:
         """Serve a batch of inputs through one shared warm path.
 
         ``params_list`` is either one params dict broadcast over the
@@ -1069,13 +1182,15 @@ class CompiledProgram:
         without an exception use :meth:`run_batch` directly.  Feedback
         for bindings whose first completed item succeeded is applied
         *before* the raise — completed measurements are never discarded.
-        ``backend="process"`` selects the bundle-warmed process-pool
-        fan-out (see :meth:`run_batch`).
+        ``options.backend="process"`` selects the bundle-warmed
+        process-pool fan-out (see :meth:`run_batch`).
         """
+        opts = _resolve_run_options(options, {
+            "workers": workers, "backend": backend,
+            "input_on_host": input_on_host, "exec_mode": exec_mode,
+            "feedback": feedback})
         outcome = self.run_batch(
-            inputs, params_list, workers=workers, backend=backend,
-            force=force, input_on_host=input_on_host,
-            exec_mode=exec_mode, warm=warm, feedback=feedback)
+            inputs, params_list, options=opts, force=force, warm=warm)
         if outcome.errors:
             failed = sorted(outcome.errors)
             first = outcome.errors[failed[0]]
@@ -1098,9 +1213,9 @@ class CompiledProgram:
     # Measured feedback (online recalibration + mispredict re-selection)
     # ------------------------------------------------------------------
     def recalibrate(self, points: Sequence[Dict[str, float]], *,
+                    options: Optional[RunOptions] = None,
                     force: Optional[Dict[str, str]] = None,
-                    input_on_host: Union[InputLocation, bool]
-                    = InputLocation.HOST,
+                    input_on_host=_UNSET,
                     feedback: Optional[FeedbackConfig] = None
                     ) -> CalibrationStore:
         """Drive the feedback loop over a set of parameter bindings.
@@ -1113,12 +1228,15 @@ class CompiledProgram:
         measured kernel wall-clock.  Returns :attr:`calibration`.
         """
         config = feedback or self.feedback
-        location = InputLocation.coerce(input_on_host)
+        opts = _resolve_run_options(options, {"input_on_host": input_on_host})
+        location = opts.location
+        before = self.stats.snapshot()
         for params in points:
             params = dict(params)
             if config.observer is None:
-                self.warmup(params, force=force, input_on_host=location,
-                            feedback=config)
+                self.warmup(params, force=force,
+                            options=dataclasses.replace(
+                                opts, feedback=config))
                 continue
             # Observations are free on the observer path, so drive each
             # binding to a fixed point: re-select and feed back until a
@@ -1132,6 +1250,18 @@ class CompiledProgram:
                                      location.on_host, config)
                 if self.stats.probe_runs == probes_before:
                     break
+        # Online subtree re-sweeps run mid-convergence: each rebuilds its
+        # box under whatever per-bucket factors existed at that moment,
+        # so boxes spanning not-yet-observed buckets keep biased cuts.
+        # Close the loop: once the whole pass has been folded in, re-sweep
+        # every disturbed region table under the converged store.
+        delta = self.stats.since(before)
+        if (delta.table_patches or delta.table_rebakes
+                or delta.subtree_resweeps) \
+                and not self.calibration.is_identity():
+            for segment in self.segments:
+                if type(segment.dispatch) is RegionDispatch:
+                    self._rebake_dispatch(segment)
         return self.calibration
 
     def save_calibration(self, path) -> None:
@@ -1187,13 +1317,27 @@ class CompiledProgram:
             dispatch_payload = []
             if segment.dispatch is not None:
                 d = segment.dispatch
-                dispatch_payload.append({
-                    "axis": d.axis, "lo": int(d.lo), "hi": int(d.hi),
-                    "extras": encode_scalars(d.extras),
-                    "from_host": bool(d.from_host),
-                    "samples": int(d.samples),
-                    "table": d.table.to_payload(),
-                })
+                if type(d) is RegionDispatch:
+                    # The multi-axis payload kind rides the existing
+                    # versioned schema: absence of "kind" means the
+                    # historical 1-D entry, so old bundles stay loadable
+                    # byte-for-byte.
+                    dispatch_payload.append({
+                        "kind": "region",
+                        "axes": [str(name) for name in d.axes],
+                        "extras": encode_scalars(d.extras),
+                        "from_host": bool(d.from_host),
+                        "samples": int(d.samples),
+                        "region": d.region.to_payload(),
+                    })
+                else:
+                    dispatch_payload.append({
+                        "axis": d.axis, "lo": int(d.lo), "hi": int(d.hi),
+                        "extras": encode_scalars(d.extras),
+                        "from_host": bool(d.from_host),
+                        "samples": int(d.samples),
+                        "table": d.table.to_payload(),
+                    })
             permutations = []
             for plan in segment.plans:
                 for size, scalars, perm in plan.export_permutations():
@@ -1299,18 +1443,29 @@ class CompiledProgram:
             dispatch = None
             for entry in payload.get("dispatch") or []:
                 try:
-                    table = DecisionTable.from_payload(entry["table"])
-                    dispatch = SegmentDispatch(
-                        axis=str(entry["axis"]), lo=int(entry["lo"]),
-                        hi=int(entry["hi"]),
-                        extras=decode_scalars(entry["extras"]),
-                        from_host=bool(entry["from_host"]), table=table,
-                        samples=int(entry.get("samples", 8)))
+                    if entry.get("kind") == "region":
+                        region = RegionTable.from_payload(entry["region"])
+                        dispatch = RegionDispatch(
+                            axes=tuple(str(a) for a in entry["axes"]),
+                            extras=decode_scalars(entry["extras"]),
+                            from_host=bool(entry["from_host"]),
+                            region=region,
+                            samples=int(entry.get("samples", 8)))
+                        winners = region.winners
+                    else:
+                        table = DecisionTable.from_payload(entry["table"])
+                        dispatch = SegmentDispatch(
+                            axis=str(entry["axis"]), lo=int(entry["lo"]),
+                            hi=int(entry["hi"]),
+                            extras=decode_scalars(entry["extras"]),
+                            from_host=bool(entry["from_host"]), table=table,
+                            samples=int(entry.get("samples", 8)))
+                        winners = table.winners
                 except (KeyError, TypeError, ValueError) as exc:
                     raise BundleFormatError(
                         f"segment {segment.name!r}: malformed dispatch "
                         f"payload: {exc}", segment=segment.name) from exc
-                unknown = [w for w in table.winners if w not in survivors]
+                unknown = [w for w in winners if w not in survivors]
                 if unknown:
                     raise BundleProgramError(
                         f"segment {segment.name!r}: dispatch table selects "
@@ -1421,7 +1576,7 @@ class CompiledProgram:
             if (config.rebake_threshold is not None
                     and change > config.rebake_threshold
                     and segment.dispatch is not None):
-                self._rebake_dispatch(segment)
+                self._rebake_dispatch(segment, params)
             return change
 
         from_host = input_on_host
@@ -1499,14 +1654,21 @@ class CompiledProgram:
 
     def _patch_dispatch(self, segment: Segment, params: Dict[str, float],
                         winner: str, from_host: bool) -> bool:
-        """Repair a baked table that a probe just contradicted."""
+        """Repair a baked table that a probe just contradicted.
+
+        Kind-agnostic: a 1-D table moves/splits a subrange boundary, a
+        k-d region table moves its nearest region boundary (or carves a
+        cell).  The ``lookup`` guard guarantees the binding is inside
+        the baked coverage, so ``patch_at`` never sees the out-of-range
+        :class:`CalibrationError` path.
+        """
         dispatch = segment.dispatch
         if dispatch is None:
             return False
         current = dispatch.lookup(params, from_host)
         if current is None or current == winner:
             return False
-        if dispatch.patch(params[dispatch.axis], winner):
+        if dispatch.patch_at(params, winner):
             self.stats.table_patches += 1
             return True
         return False
@@ -1528,11 +1690,22 @@ class CompiledProgram:
                                   params=dict(freeze_scalars(params))
                                   ) from exc
 
-    def _rebake_dispatch(self, segment: Segment) -> bool:
-        """Re-sweep one segment's baked table under calibrated costs."""
+    def _rebake_dispatch(self, segment: Segment,
+                         params: Optional[Dict[str, float]] = None) -> bool:
+        """Re-sweep one segment's baked table under calibrated costs.
+
+        For a k-d :class:`RegionDispatch` with a triggering binding
+        (``params``) inside the baked box, only the subtree owning the
+        binding's region is re-swept — a large factor swing moves the
+        break-even surface locally, so regions far from the observation
+        keep their cuts.  Without a binding (e.g.
+        :meth:`load_calibration`) the whole region table is rebuilt.
+        """
         dispatch = segment.dispatch
         if dispatch is None:
             return False
+        if type(dispatch) is RegionDispatch:
+            return self._rebake_region(segment, dispatch, params)
         base = dict(dispatch.extras)
         cost = self._selection_cost()
         eligible = self._eligible(segment, dispatch.from_host)
@@ -1558,6 +1731,48 @@ class CompiledProgram:
             hi=int(table.subranges[-1].hi), extras=dispatch.extras,
             from_host=dispatch.from_host, table=table,
             samples=dispatch.samples)
+        self.stats.table_rebakes += 1
+        return True
+
+    def _rebake_region(self, segment: Segment, dispatch: RegionDispatch,
+                       params: Optional[Dict[str, float]]) -> bool:
+        """Region-table rebake: subtree re-sweep when a binding anchors it."""
+        base = dict(dispatch.extras)
+        names = dispatch.region.names
+        cost = self._selection_cost()
+        eligible = self._eligible(segment, dispatch.from_host)
+        variants = [
+            Variant(plan.strategy,
+                    lambda values, plan=plan:
+                    self._sweep_cost(cost, plan, {
+                        **base,
+                        **{name: int(v)
+                           for name, v in zip(names, values)}}))
+            for plan in eligible
+        ]
+        point = None
+        if params is not None:
+            point = {name: params.get(name) for name in names}
+            if any(value is None or not np.isscalar(value)
+                   or not axis.contains(value)
+                   for axis, value in zip(dispatch.region.axes,
+                                          point.values())):
+                point = None      # out-of-box trigger: full rebake
+        with self.cost.compile_scope():
+            try:
+                if point is not None:
+                    dispatch.region.resweep_subtree(point, variants,
+                                                    refine=True)
+                    self.stats.subtree_resweeps += 1
+                else:
+                    dispatch.region = sweep_region(
+                        variants, dispatch.region.axes, refine=True)
+            except ModelSweepError:
+                # The calibrated sweep is infeasible; drop the stale
+                # table so selection falls back to exact model-argmin.
+                self.stats.sweep_failures += 1
+                segment.dispatch = None
+                return False
         self.stats.table_rebakes += 1
         return True
 
@@ -1646,12 +1861,23 @@ class CompiledProgram:
         an input matching the baked extras is then a bisect with zero
         model evaluations; anything else falls back to model-argmin.
 
+        A program with **two or more** unpinned size-like axes (rows x
+        cols, width x height) gets the k-d generalization instead: a
+        :class:`~repro.perfmodel.RegionTable` partitioning the full input
+        box into winner-homogeneous regions, attached as a
+        :class:`RegionDispatch` — in-box selection is then a tree walk
+        with zero model evaluations.
+
         Returns the number of tables baked.  All evaluations spent here
         are counted as compile-time and shared with later queries through
         the cost cache.
         """
         ranges = self.program.input_ranges
         extras = dict(extra_params or {})
+        unpinned = [axis for axis in sorted(ranges) if axis not in extras]
+        if len(unpinned) >= 2:
+            return self._bake_region_tables(unpinned, ranges, extras,
+                                            samples, refine)
         baked = 0
         cost = self._selection_cost()
         for axis in sorted(ranges):
@@ -1693,6 +1919,46 @@ class CompiledProgram:
                     from_host = False
                     baked += 1
             break                 # one baked axis per segment chain
+        return baked
+
+    def _bake_region_tables(self, names: List[str], ranges: Dict,
+                            extras: Dict[str, float], samples: int,
+                            refine: bool) -> int:
+        """Bake one k-d :class:`RegionDispatch` per sweepable segment."""
+        base = dict(extras)
+        axes = tuple(
+            AxisSpec(name=name, lo=int(ranges[name][0]),
+                     hi=int(ranges[name][1]), samples=samples)
+            for name in names)
+        baked = 0
+        cost = self._selection_cost()
+        with self.cost.compile_scope():
+            from_host = True
+            for segment in self.segments:
+                eligible = self._eligible(segment, from_host)
+                variants = [
+                    Variant(plan.strategy,
+                            lambda values, plan=plan:
+                            self._sweep_cost(cost, plan, {
+                                **base,
+                                **{name: int(v)
+                                   for name, v in zip(names, values)}}))
+                    for plan in eligible
+                ]
+                try:
+                    region = sweep_region(variants, axes, refine=refine)
+                except ModelSweepError:
+                    # Same contract as the 1-D baker: a segment the model
+                    # cannot sweep keeps the exact model-argmin path.
+                    self.stats.sweep_failures += 1
+                    segment.dispatch = None
+                    from_host = False
+                    continue
+                segment.dispatch = RegionDispatch(
+                    axes=tuple(names), extras=freeze_scalars(base),
+                    from_host=from_host, region=region, samples=samples)
+                from_host = False
+                baked += 1
         return baked
 
     def variant_count(self) -> int:
@@ -1766,7 +2032,9 @@ class CompiledProgram:
         lines.append(f"selection stats: {self.stats.summary()}")
         return "\n".join(lines)
 
-    def describe(self) -> str:
+    def describe(self, tables: bool = False) -> str:
+        """Program summary; ``tables=True`` adds the full baked region /
+        break-even maps (the ``python -m repro describe --tables`` view)."""
         lines = [f"CompiledProgram {self.program.name!r} "
                  f"[{self.options.label()}] on {self.spec.name}"]
         for segment in self.segments:
@@ -1774,11 +2042,26 @@ class CompiledProgram:
                          f"{', '.join(segment.actors)})")
             for plan in segment.plans:
                 lines.append(f"    - {plan.strategy}")
-            if segment.dispatch is not None:
-                d = segment.dispatch
+            d = segment.dispatch
+            if type(d) is RegionDispatch:
+                box = " x ".join(f"{ax.name} in [{ax.lo}, {ax.hi}]"
+                                 for ax in d.region.axes)
+                lines.append(
+                    f"    [region table over {box}: "
+                    f"{d.region.n_leaves} regions, "
+                    f"{len(d.region.boundaries())} boundaries]")
+                if tables:
+                    for line in d.region.describe():
+                        lines.append(f"      {line}")
+            elif d is not None:
                 lines.append(
                     f"    [dispatch table on {d.axis!r} in "
                     f"[{d.lo}, {d.hi}]: "
                     f"{len(d.table.subranges)} subranges]")
+                if tables:
+                    for sub in d.table.subranges:
+                        lines.append(f"      {d.axis} in "
+                                     f"[{sub.lo}, {sub.hi}] -> "
+                                     f"{sub.variant}")
         lines.append(f"  selection stats: {self.stats.summary()}")
         return "\n".join(lines)

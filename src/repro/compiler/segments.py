@@ -16,12 +16,13 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..errors import SelectionError
-from ..perfmodel import DecisionTable, PerformanceModel, Variant, sweep
+from ..perfmodel import DecisionTable, PerformanceModel, RegionTable, \
+    Variant, sweep
 from .plans.base import KernelPlan, freeze_scalars
 from .stats import cost_fn
 
@@ -68,6 +69,53 @@ class SegmentDispatch:
         """
         return self.table.patch(int(value), winner)
 
+    def patch_at(self, params: Dict[str, float], winner: str) -> bool:
+        """Patch at a full parameter binding (dispatch-kind agnostic)."""
+        return self.patch(params[self.axis], winner)
+
+
+@dataclasses.dataclass
+class RegionDispatch:
+    """A baked k-d region table: the multi-axis selection fast path.
+
+    The region generalization of :class:`SegmentDispatch`: valid only
+    for inputs whose ``axes`` scalars all lie inside the baked box,
+    whose remaining scalar parameters equal ``extras`` exactly, and
+    under the host/device-residency eligibility it was baked for.  Both
+    dispatch kinds expose the same ``lookup`` / ``patch_at`` surface, so
+    the runtime never branches on the kind.
+    """
+
+    axes: tuple             # axis names, in the region table's order
+    extras: tuple           # freeze_scalars() of the non-axis parameters
+    from_host: bool         # eligibility context the table was baked under
+    region: RegionTable
+    #: Per-axis sample density the table was swept at (re-bakes reuse it).
+    samples: int = 8
+
+    def lookup(self, params: Dict[str, float],
+               from_host: bool) -> Optional[str]:
+        """Winning strategy name, or ``None`` when the table is unusable."""
+        if from_host != self.from_host:
+            return None
+        for name in self.axes:
+            value = params.get(name)
+            if value is None or not np.isscalar(value):
+                return None
+        others = {k: v for k, v in params.items() if k not in self.axes}
+        if freeze_scalars(others) != self.extras:
+            return None
+        return self.region.lookup(params)
+
+    def patch_at(self, params: Dict[str, float], winner: str) -> bool:
+        """Move the nearest region boundary so ``params`` maps to ``winner``.
+
+        Delegates to :meth:`~repro.perfmodel.RegionTable.patch`; called
+        by the runtime's feedback layer only after :meth:`lookup`
+        confirmed the binding is inside the baked box.
+        """
+        return self.region.patch(params, winner)
+
 
 def _points_equal(a: Dict, b: Dict) -> bool:
     if a.keys() != b.keys():
@@ -88,8 +136,9 @@ class Segment:
     consts: tuple = ()
     #: Filters folded into this segment (for reporting).
     actors: tuple = ()
-    #: Baked decision table (selection fast path), if any.
-    dispatch: Optional[SegmentDispatch] = None
+    #: Baked dispatch table (selection fast path), if any: a 1-D
+    #: :class:`SegmentDispatch` or a multi-axis :class:`RegionDispatch`.
+    dispatch: Optional[Union[SegmentDispatch, RegionDispatch]] = None
     #: Strategies removed by :meth:`prune` (for actionable errors).
     pruned_strategies: tuple = ()
 

@@ -33,6 +33,8 @@ class SelectionStats:
     cache_hits: int = 0
     #: ``select()`` decisions answered by a baked dispatch table (zero evals).
     table_hits: int = 0
+    #: ... of which were answered by a multi-axis k-d region table.
+    region_hits: int = 0
     #: ``select()`` decisions that fell back to model-argmin.
     table_fallbacks: int = 0
     #: ``select()`` decisions satisfied by a ``force=`` override.
@@ -70,6 +72,8 @@ class SelectionStats:
     table_patches: int = 0
     #: Dispatch tables re-swept after a large calibration-factor change.
     table_rebakes: int = 0
+    #: Region-table rebakes that re-swept only the affected subtree.
+    subtree_resweeps: int = 0
     #: Faults fired by a configured :class:`~repro.faults.FaultInjector`.
     faults_injected: int = 0
     #: Segment executions retried after a variant failure.
@@ -124,6 +128,7 @@ class SelectionStats:
                 f" runtime={self.runtime_evals})"
                 f" cache_hits={self.cache_hits}"
                 f" table_hits={self.table_hits}"
+                f" region_hits={self.region_hits}"
                 f" fallbacks={self.table_fallbacks}"
                 f" selects={self.select_calls}"
                 f" select_wall={self.select_seconds * 1e6:.0f}us"

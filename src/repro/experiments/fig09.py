@@ -16,6 +16,7 @@ from .. import api, apps
 from ..baselines import cublas, sdk
 from ..gpu import DeviceArray, GPUSpec, TESLA_C2050
 from .common import FigureResult, Series, model_for, shape_label, size_label
+from ..compiler import RunOptions
 
 #: Seven vector sizes for the CUBLAS reductions.
 VECTOR_SIZES = [1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
@@ -143,8 +144,8 @@ def functional_check(name: str = "sdot", n: int = 4096,
     for mode in (api.ExecMode.REFERENCE, api.ExecMode.VECTORIZED):
         DeviceArray.reset_base_allocator()
         outputs[mode] = np.asarray(
-            compiled.run(data, params, exec_mode=mode).output)
-        warm = np.asarray(compiled.run(data, params, exec_mode=mode).output)
+            compiled.run(data, params, options=RunOptions(exec_mode=mode)).output)
+        warm = np.asarray(compiled.run(data, params, options=RunOptions(exec_mode=mode)).output)
         if warm.tobytes() != outputs[mode].tobytes():
             raise AssertionError(f"{name}: warm {mode} run diverged")
     ref = outputs[api.ExecMode.REFERENCE]

@@ -17,6 +17,7 @@ from ..apps import tmv
 from ..baselines import cublas
 from ..gpu import DeviceArray, GPUSpec, TESLA_C2050
 from .common import FigureResult, Series, model_for, shape_label
+from ..compiler import RunOptions
 
 PANELS = {"1M": 1 << 20, "4M": 4 << 20, "16M": 16 << 20}
 
@@ -78,9 +79,9 @@ def functional_check(rows: int = 48, cols: int = 160,
     for mode in (api.ExecMode.REFERENCE, api.ExecMode.VECTORIZED):
         DeviceArray.reset_base_allocator()
         outputs[mode] = np.asarray(
-            compiled.run(matrix, params, exec_mode=mode).output)
+            compiled.run(matrix, params, options=RunOptions(exec_mode=mode)).output)
         warm = np.asarray(
-            compiled.run(matrix, params, exec_mode=mode).output)
+            compiled.run(matrix, params, options=RunOptions(exec_mode=mode)).output)
         if warm.tobytes() != outputs[mode].tobytes():
             raise AssertionError(
                 f"tmv {rows}x{cols}: warm {mode} run diverged")
@@ -146,8 +147,8 @@ def _warm_sweep(compiled, total_elements: int, seed: int = 0):
     pairs = []
     for rows, cols in tmv.shape_sweep(total_elements):
         matrix, _vec, params = tmv.make_input(rows, cols, rng)
-        compiled.run(matrix, params, exec_mode=api.ExecMode.REFERENCE)
-        compiled.run(matrix, params, exec_mode=api.ExecMode.VECTORIZED)
+        compiled.run(matrix, params, options=RunOptions(exec_mode=api.ExecMode.REFERENCE))
+        compiled.run(matrix, params, options=RunOptions(exec_mode=api.ExecMode.VECTORIZED))
         pairs.append((matrix, params))
     return pairs
 
@@ -239,13 +240,13 @@ def bundle_benchmark(total_elements: int = 1 << 10,
         cold = api.compile(tmv.build(), arch=spec)
         cold.prune_variants(samples=prune_samples)
         cold_out = np.asarray(cold.run(matrix, params,
-                                       exec_mode=mode).output)
+                                       options=RunOptions(exec_mode=mode)).output)
         cold_seconds = time.perf_counter() - started
 
         started = time.perf_counter()
         warm = api.load_bundle(path)
         warm_out = np.asarray(warm.run(matrix, params,
-                                       exec_mode=mode).output)
+                                       options=RunOptions(exec_mode=mode)).output)
         bundle_seconds = time.perf_counter() - started
 
         if cold_out.tobytes() != warm_out.tobytes():

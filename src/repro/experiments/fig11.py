@@ -23,6 +23,7 @@ from ..baselines.cublas import bicgstab_step_seconds
 from ..compiler import AdapticOptions
 from ..gpu import (DeviceArray, GPUSpec, GTX_285, TESLA_C2050)
 from .common import FigureResult, Series, combined_stats, model_for
+from ..compiler import RunOptions
 
 SIZES = [512, 1024, 2048, 4096, 8192]
 TARGETS = {"C2050": TESLA_C2050, "GTX285": GTX_285}
@@ -120,9 +121,9 @@ def functional_check(n: int = 96, spec: GPUSpec = TESLA_C2050,
         for mode in (api.ExecMode.REFERENCE, api.ExecMode.VECTORIZED):
             DeviceArray.reset_base_allocator()
             outputs[mode] = np.asarray(
-                compiled.run(data, params, exec_mode=mode).output)
+                compiled.run(data, params, options=RunOptions(exec_mode=mode)).output)
             warm = np.asarray(
-                compiled.run(data, params, exec_mode=mode).output)
+                compiled.run(data, params, options=RunOptions(exec_mode=mode)).output)
             if warm.tobytes() != outputs[mode].tobytes():
                 mismatches.append(f"{step.name} (warm {mode})")
         if (outputs[api.ExecMode.REFERENCE].tobytes()

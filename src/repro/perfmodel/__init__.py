@@ -1,7 +1,8 @@
 """Analytic performance model and break-even (variant selection) machinery."""
 
-from .breakeven import (DecisionTable, Subrange, Variant, argmin_variant,
-                        geometric_points, sweep, sweep_axis)
+from .breakeven import (AxisSpec, DecisionTable, RegionNode, RegionTable,
+                        Subrange, Variant, argmin_variant, geometric_points,
+                        sweep, sweep_axis, sweep_region)
 from .calibration import (CalibrationStore, FeedbackConfig, Observation,
                           selection_accuracy, size_bucket)
 from .model import (BLOCK_SCHED_OVERHEAD_CYCLES, KernelCategory,
@@ -11,6 +12,7 @@ __all__ = [
     "PerformanceModel", "KernelWorkload", "KernelEstimate", "KernelCategory",
     "BLOCK_SCHED_OVERHEAD_CYCLES",
     "Variant", "Subrange", "DecisionTable", "sweep", "sweep_axis",
+    "AxisSpec", "RegionNode", "RegionTable", "sweep_region",
     "argmin_variant", "geometric_points",
     "CalibrationStore", "FeedbackConfig", "Observation",
     "selection_accuracy", "size_bucket",

@@ -32,6 +32,7 @@ from ..apps import tmv
 from ..gpu import ExecMode, GPUSpec, TESLA_C2050
 from .metrics import percentile
 from .server import ServeConfig, Server
+from ..compiler import RunOptions
 
 #: Tenants the generated traffic cycles through.
 TENANTS = ("alice", "bob")
@@ -115,14 +116,14 @@ def run_benchmark(spec: Optional[GPUSpec] = None,
 
     # Bit-identity reference (also warms every unfused binding).
     reference = compiled.run_many(inputs, params_list,
-                                  exec_mode=exec_mode)
+                                  options=RunOptions(exec_mode=exec_mode))
 
     # Serial per-request baseline on the warm program.
     serial_latencies: List[float] = []
     serial_started = time.perf_counter()
     for matrix, params, _tenant in requests:
         t = time.perf_counter()
-        compiled.run(matrix, params, exec_mode=exec_mode)
+        compiled.run(matrix, params, options=RunOptions(exec_mode=exec_mode))
         serial_latencies.append(time.perf_counter() - t)
     serial_wall = time.perf_counter() - serial_started
 

@@ -40,7 +40,7 @@ import numpy as np
 
 from ..compiler.costing import chain_seconds, fuse_gain
 from ..compiler.plans.base import freeze_scalars
-from ..compiler.runtime import RunResult
+from ..compiler.runtime import RunOptions, RunResult
 from ..errors import AdmissionError, ServeError
 from ..gpu import ExecMode
 from ..perfmodel import size_bucket
@@ -73,6 +73,12 @@ class ServeConfig:
     at the fused size stay on the per-item path.  ``feedback`` forwards
     to the underlying dispatches so the program's own calibration store
     keeps learning while serving.
+
+    Execution options (``workers`` / ``backend`` / ``exec_mode`` /
+    ``feedback``) can come in one :class:`~repro.RunOptions` value via
+    ``options``; the flat fields remain as defaults for any field the
+    ``options`` value does not carry, and :meth:`run_options` is the
+    merged view the server dispatches with.
     """
 
     max_batch: int = 8
@@ -89,6 +95,18 @@ class ServeConfig:
     fuse_min_gain: float = 2.0
     feedback: bool = False
     default_quota: int = 64
+    #: Preferred spelling for the execution options: one
+    #: :class:`~repro.RunOptions` reused across every dispatch.  When
+    #: set, it wins over the flat ``workers`` / ``backend`` /
+    #: ``exec_mode`` / ``feedback`` fields.
+    options: Optional[RunOptions] = None
+
+    def run_options(self) -> RunOptions:
+        """The :class:`~repro.RunOptions` the server dispatches with."""
+        if self.options is not None:
+            return self.options
+        return RunOptions(exec_mode=self.exec_mode, feedback=self.feedback,
+                          workers=self.workers, backend=self.backend)
 
 
 @dataclasses.dataclass
@@ -355,8 +373,7 @@ class Server:
                  for segment, plan in zip(self.compiled.segments,
                                           base_plans)}
         run = self.compiled.run(fused_input, fused_params, force=force,
-                                exec_mode=self.config.exec_mode,
-                                feedback=self.config.feedback)
+                                options=self.config.run_options())
         wall = time.perf_counter() - started
         self.metrics.record_dispatch(k, fused=True)
         per_request = len(run.output) // k
@@ -381,10 +398,7 @@ class Server:
         outcome = self.compiled.run_batch(
             [r.host_input for r in group],
             [r.params for r in group],
-            workers=self.config.workers,
-            backend=self.config.backend,
-            exec_mode=self.config.exec_mode,
-            feedback=self.config.feedback)
+            options=self.config.run_options())
         wall = time.perf_counter() - started
         self.metrics.record_dispatch(len(group), fused=False)
         entries: List = []

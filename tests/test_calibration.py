@@ -20,6 +20,7 @@ from repro.perfmodel import (CalibrationStore, FeedbackConfig,
 from repro.streamit import Filter, StreamProgram
 
 from workloads import SUM_SRC
+from repro.compiler import InputLocation, RunOptions
 
 SDOT_SRC = """
 def sdot(n):
@@ -170,7 +171,7 @@ class TestUncalibratedPathUnchanged:
         data = rng.standard_normal(2 * 4096)
         plain = api.compile(sdot_program()).run(data, dict(params))
         fed = api.compile(sdot_program())
-        result = fed.run(data, dict(params), feedback=True)
+        result = fed.run(data, dict(params), options=RunOptions(feedback=True))
         assert (np.asarray(result.output).tobytes()
                 == np.asarray(plain.output).tobytes())
         assert fed.stats.feedback_observations >= 1
@@ -192,7 +193,7 @@ class TestFeedbackLoop:
     def test_run_feedback_observes_measured_kernel_seconds(self, rng):
         compiled = api.compile(sdot_program())
         data = rng.standard_normal(2 * 4096)
-        compiled.run(data, {"n": 4096, "r": 1}, feedback=True)
+        compiled.run(data, {"n": 4096, "r": 1}, options=RunOptions(feedback=True))
         assert compiled.stats.feedback_observations >= 1
         assert not compiled.calibration.is_identity()
 
@@ -312,7 +313,7 @@ class TestApiFacade:
         compiled = api.compile(sum_program())
         data = rng.standard_normal(1024)
         result = compiled.run(data, {"n": 1024, "r": 1},
-                              exec_mode=api.ExecMode.VECTORIZED)
+                              options=RunOptions(exec_mode=api.ExecMode.VECTORIZED))
         np.testing.assert_allclose(result.output[0], data.sum(), rtol=1e-6)
 
     def test_facade_reexports_the_public_types(self):
@@ -353,7 +354,7 @@ class TestDeprecationShims:
         with warnings.catch_warnings(record=True) as record:
             warnings.simplefilter("always")
             compiled.run(data, {"n": 256, "r": 1},
-                         exec_mode=ExecMode.REFERENCE)
+                         options=RunOptions(exec_mode=ExecMode.REFERENCE))
         assert not [w for w in record
                     if issubclass(w.category, DeprecationWarning)]
 
@@ -386,7 +387,7 @@ class TestDeprecationShims:
             warnings.simplefilter("always")
             with pytest.raises(ValueError):
                 compiled.run(data, {"n": 256, "r": 1},
-                             exec_mode="warp-speed")
+                             options=RunOptions(exec_mode="warp-speed"))
         assert not [w for w in record
                     if issubclass(w.category, DeprecationWarning)]
 

@@ -35,6 +35,7 @@ from repro.ir import classify, lift_code
 
 from workloads import (ISAMAX_SRC, SAXPY_SRC, SCALE_SRC, SDOT_SRC,
                        STENCIL5_SRC, SUM_SRC)
+from repro.compiler import RunOptions
 
 pytestmark = pytest.mark.differential
 
@@ -225,11 +226,11 @@ class TestFusedChainDifferential:
         from repro.gpu import ExecMode
         unfused, fused = self._compile_pair(prog)
         oracle = unfused.run(data, params, force=force,
-                             exec_mode=ExecMode.REFERENCE)
+                             options=RunOptions(exec_mode=ExecMode.REFERENCE))
         vec = unfused.run(data, params, force=force,
-                          exec_mode=ExecMode.VECTORIZED)
+                          options=RunOptions(exec_mode=ExecMode.VECTORIZED))
         fus = fused.run(data, params, force=force,
-                        exec_mode=ExecMode.VECTORIZED)
+                        options=RunOptions(exec_mode=ExecMode.VECTORIZED))
         assert vec.output.tobytes() == oracle.output.tobytes()
         assert fus.output.tobytes() == oracle.output.tobytes()
         assert fused.stats.fused_chain_runs == expect_spans
@@ -266,9 +267,9 @@ class TestFusedChainDifferential:
         data = rng.standard_normal(2 * n)
         params = {"n": n, "a": -0.75}
         oracle = unfused.run(data, params, force=force,
-                             exec_mode=ExecMode.REFERENCE)
+                             options=RunOptions(exec_mode=ExecMode.REFERENCE))
         fus = fused.run(data, params, force=force,
-                        exec_mode=ExecMode.VECTORIZED)
+                        options=RunOptions(exec_mode=ExecMode.VECTORIZED))
         assert fus.output.tobytes() == oracle.output.tobytes()
         assert fused.stats.fused_chain_runs == 1
         assert fus.selections[0].strategy == "map.grid_stride+soa"

@@ -32,6 +32,7 @@ from repro.faults import (ANY_FAMILY, FaultInjector, FaultPlan, KIND_NAN,
 from repro.gpu import Device, DeviceArray, ExecMode, MODE_REFERENCE, \
     MODE_VECTORIZED, TESLA_C2050
 from repro.perfmodel import CalibrationStore
+from repro.compiler import RunOptions
 
 SWEEP_ELEMENTS = 1 << 10
 
@@ -253,14 +254,14 @@ class TestFaultGate:
     def test_sweep_completes_bit_identical_with_exact_counters(self):
         inputs, params_list = _sweep_batch()
         clean = _compile()
-        clean_results = clean.run_many(inputs, params_list, workers=2)
+        clean_results = clean.run_many(inputs, params_list, options=RunOptions(workers=2))
         victim = clean_results[0].selections[0].strategy
 
         injector = FaultInjector(
             [FaultPlan(family=victim, kind=KIND_RAISE, nth=1, count=1)],
             seed=0)
         guarded = _compile(faults=injector)
-        injected = guarded.run_many(inputs, params_list, workers=2)
+        injected = guarded.run_many(inputs, params_list, options=RunOptions(workers=2))
 
         assert len(injected) == len(inputs)
         for a, b in zip(clean_results, injected):
@@ -317,7 +318,7 @@ class TestRunManyPartialFailure:
         compiled = _compile()
         before = compiled.stats.snapshot()
         with pytest.raises(KernelExecutionError) as err:
-            compiled.run_many(inputs, params, workers=workers)
+            compiled.run_many(inputs, params, options=RunOptions(workers=workers))
         exc = err.value
         assert exc.batch_index == 1
         assert set(exc.batch_errors) == {1}
@@ -355,8 +356,7 @@ class TestWorkerExecMode:
         if default_mode is not None:
             compiled.default_exec_mode = default_mode
         matrix, _vec, params = tmv.make_input(8, 32)
-        compiled.run_many([matrix] * 4, params, workers=2,
-                          exec_mode=exec_mode)
+        compiled.run_many([matrix] * 4, params, options=RunOptions(workers=2, exec_mode=exec_mode))
         assert created, "expected worker devices to be constructed"
         return created
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro import (AdapticOptions, Filter, GTX_480, Pipeline, StreamProgram,
                    compile_program)
-from repro.compiler import AdapticCompiler, InputLocation
+from repro.compiler import AdapticCompiler, InputLocation, RunOptions
 from repro.gpu import Device, TESLA_C2050
 
 from workloads import SCALE_SRC, SUM_SRC
@@ -123,7 +123,7 @@ class TestDeviceResidentInput:
         data = rng.standard_normal(params["n"] * params["r"])
         host = compiled.run(data, params)
         device = compiled.run(data, params,
-                              input_on_host=InputLocation.DEVICE)
+                              options=RunOptions(location=InputLocation.DEVICE))
         assert host.selections[0].strategy.endswith("transposed")
         assert not device.selections[0].strategy.endswith("transposed")
 
@@ -133,7 +133,7 @@ class TestDeviceResidentInput:
         data = rng.standard_normal(params["n"] * params["r"])
         host = compiled.run(data, params)
         device = compiled.run(data, params,
-                              input_on_host=InputLocation.DEVICE)
+                              options=RunOptions(location=InputLocation.DEVICE))
         np.testing.assert_allclose(device.output, host.output, rtol=1e-9)
 
     def test_canonical_plan_identical_on_both_paths(self, rng):
@@ -148,7 +148,7 @@ class TestDeviceResidentInput:
         force = {seg.name: canonical.strategy}
         host = compiled.run(data, params, force=force)
         device = compiled.run(data, params, force=force,
-                              input_on_host=InputLocation.DEVICE)
+                              options=RunOptions(location=InputLocation.DEVICE))
         np.testing.assert_array_equal(host.output, device.output)
 
 
@@ -220,8 +220,8 @@ def square(n):
         params = {"n": 2048, "a": 1.25}
         plain = self._compile()
         fused = self._compile(fuse_chains=True, fuse_min_gain=0.0)
-        baseline = plain.run(data, params, exec_mode=ExecMode.VECTORIZED)
-        result = fused.run(data, params, exec_mode=ExecMode.VECTORIZED)
+        baseline = plain.run(data, params, options=RunOptions(exec_mode=ExecMode.VECTORIZED))
+        result = fused.run(data, params, options=RunOptions(exec_mode=ExecMode.VECTORIZED))
         assert result.output.tobytes() == baseline.output.tobytes()
         assert fused.stats.fused_chain_runs == 1
         # One launch covers the two map segments; the reduction keeps
@@ -236,7 +236,7 @@ def square(n):
         fused = self._compile(fuse_chains=True,
                               fuse_min_gain=float("inf"))
         fused.run(rng.standard_normal(512), {"n": 512, "a": 2.0},
-                  exec_mode=ExecMode.VECTORIZED)
+                  options=RunOptions(exec_mode=ExecMode.VECTORIZED))
         assert fused.stats.fused_chain_runs == 0
 
     def test_reference_mode_never_fuses(self, rng):
@@ -250,13 +250,13 @@ def square(n):
         fused = self._compile(fuse_chains=True, fuse_min_gain=0.0)
         data = rng.standard_normal(1024)
         params = {"n": 1024, "a": 0.5}
-        fused.run(data, params, exec_mode=ExecMode.VECTORIZED)
+        fused.run(data, params, options=RunOptions(exec_mode=ExecMode.VECTORIZED))
         before = COMPILE_COUNTER.snapshot()
-        fused.run(data, params, exec_mode=ExecMode.VECTORIZED)
+        fused.run(data, params, options=RunOptions(exec_mode=ExecMode.VECTORIZED))
         assert COMPILE_COUNTER.since(before).total == 0  # warm
         fused.clear_warm_caches()
         before = COMPILE_COUNTER.snapshot()
-        fused.run(data, params, exec_mode=ExecMode.VECTORIZED)
+        fused.run(data, params, options=RunOptions(exec_mode=ExecMode.VECTORIZED))
         assert COMPILE_COUNTER.since(before).total > 0   # cold again
         assert fused.stats.fused_chain_runs == 3
 
@@ -277,7 +277,7 @@ def square(n):
         loaded = dict(SOURCE_REGISTRY._loaded)
         try:
             warm = AdapticCompiler(TESLA_C2050, options).compile(program)
-            baseline = warm.run(data, params, exec_mode=ExecMode.VECTORIZED)
+            baseline = warm.run(data, params, options=RunOptions(exec_mode=ExecMode.VECTORIZED))
             assert any(key.startswith("chain|")
                        for key in SOURCE_REGISTRY.export())
             path = tmp_path / "fused.bundle.json"
@@ -287,7 +287,7 @@ def square(n):
             # Simulate a fresh process: only bundle-loaded sources serve.
             SOURCE_REGISTRY._recorded.clear()
             before = COMPILE_COUNTER.snapshot()
-            result = cold.run(data, params, exec_mode=ExecMode.VECTORIZED)
+            result = cold.run(data, params, options=RunOptions(exec_mode=ExecMode.VECTORIZED))
             delta = COMPILE_COUNTER.since(before)
         finally:
             SOURCE_REGISTRY._recorded.clear()
@@ -316,10 +316,9 @@ class TestProcessPoolBackend:
         compiled = self._compiled()
         inputs = [rng.standard_normal(256) for _ in range(5)]
         params = {"n": 256, "a": 2.0}
-        threaded = compiled.run_many(inputs, params, workers=2)
+        threaded = compiled.run_many(inputs, params, options=RunOptions(workers=2))
         before = compiled.stats.snapshot()
-        pooled = compiled.run_many(inputs, params, workers=2,
-                                   backend="process")
+        pooled = compiled.run_many(inputs, params, options=RunOptions(workers=2, backend="process"))
         delta = compiled.stats.since(before)
         for a, b in zip(threaded, pooled):
             assert np.array_equal(a.output, b.output)
@@ -336,7 +335,7 @@ class TestProcessPoolBackend:
         compiled.warmup(params)      # parent compiles here, workers won't
         inputs = [rng.standard_normal(512) for _ in range(4)]
         before = compiled.stats.snapshot()
-        compiled.run_many(inputs, params, workers=2, backend="process")
+        compiled.run_many(inputs, params, options=RunOptions(workers=2, backend="process"))
         delta = compiled.stats.since(before)
         assert delta.expr_compiles == 0      # counter-asserted: zero
         assert delta.expr_hydrations > 0     # bundle-hydrated instead
@@ -348,9 +347,8 @@ class TestProcessPoolBackend:
         good = [rng.standard_normal(128) for _ in range(3)]
         bad = list(good)
         bad[1] = np.zeros(5)                 # wrong size
-        threaded = compiled.run_batch(bad, params, workers=2)
-        pooled = compiled.run_batch(bad, params, workers=2,
-                                    backend="process")
+        threaded = compiled.run_batch(bad, params, options=RunOptions(workers=2))
+        pooled = compiled.run_batch(bad, params, options=RunOptions(workers=2, backend="process"))
         for outcome in (threaded, pooled):
             assert sorted(outcome.errors) == [1]
             assert isinstance(outcome.errors[1], ValueError)
@@ -359,7 +357,7 @@ class TestProcessPoolBackend:
         assert np.array_equal(threaded.results[0].output,
                               pooled.results[0].output)
         with pytest.raises(Exception) as exc_info:
-            compiled.run_many(bad, params, workers=2, backend="process")
+            compiled.run_many(bad, params, options=RunOptions(workers=2, backend="process"))
         assert getattr(exc_info.value, "batch_index", None) == 1
         compiled.clear_warm_caches()
 
@@ -367,14 +365,13 @@ class TestProcessPoolBackend:
         compiled = self._compiled()
         with pytest.raises(ValueError, match="backend"):
             compiled.run_batch([rng.standard_normal(128)],
-                               {"n": 128, "a": 1.0}, backend="mpi")
+                               {"n": 128, "a": 1.0}, options=RunOptions(backend="mpi"))
 
     def test_shared_memory_swept(self, rng):
         import os
         compiled = self._compiled()
         inputs = [rng.standard_normal(128) for _ in range(2)]
-        compiled.run_many(inputs, {"n": 128, "a": 1.0}, workers=2,
-                          backend="process")
+        compiled.run_many(inputs, {"n": 128, "a": 1.0}, options=RunOptions(workers=2, backend="process"))
         compiled.clear_warm_caches()
         if os.path.isdir("/dev/shm"):
             leftovers = [name for name in os.listdir("/dev/shm")

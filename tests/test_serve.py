@@ -25,6 +25,7 @@ from repro.serve import (AdmissionPolicy, DispatchQueue, PendingRequest,
                          Priority, ServeConfig, Server, ShapeBatcher,
                          TenantConfig, bucket_key, percentile)
 from repro.serve.metrics import STAGES
+from repro.compiler import RunOptions
 
 pytestmark = pytest.mark.serve
 
@@ -90,7 +91,7 @@ class TestRunBatchFixes:
         with pytest.raises(KernelExecutionError) as excinfo:
             compiled.run_many(a_inputs + b_inputs,
                               [a_params, a_params, b_params],
-                              feedback=True)
+                              options=RunOptions(feedback=True))
         error = excinfo.value
         assert sorted(error.batch_errors) == [2]
         assert error.batch_index == 2
@@ -126,7 +127,7 @@ class TestRunBatchFixes:
             [FaultPlan(family="*", kind="raise", nth=3, count=4)], seed=0)
         before = compiled.stats.snapshot()
         outcome = compiled.run_batch(inputs, [params] * len(inputs),
-                                     workers=4)
+                                     options=RunOptions(workers=4))
         assert outcome.ok, f"unexpected failures: {outcome.errors}"
         delta = compiled.stats.since(before)
         assert delta.faults_injected == 4

@@ -16,6 +16,7 @@ from repro.compiler.exprgen import COMPILE_COUNTER
 from repro.compiler.plans.base import RESTRUCTURE_COUNTER
 from repro.gpu import (BufferArena, Device, DeviceArray, MODE_REFERENCE,
                        MODE_VECTORIZED, PCIE_BANDWIDTH_GBPS, TESLA_C2050)
+from repro.compiler import RunOptions
 
 
 @pytest.fixture
@@ -51,10 +52,10 @@ class TestTransferAliasing:
                                                         tmv_case):
         matrix, params = tmv_case
         keep = matrix.copy()
-        result = compiled.run(matrix, params, exec_mode=MODE_VECTORIZED)
+        result = compiled.run(matrix, params, options=RunOptions(exec_mode=MODE_VECTORIZED))
         result.output[:] = np.nan
         np.testing.assert_array_equal(matrix, keep)
-        again = compiled.run(matrix, params, exec_mode=MODE_VECTORIZED)
+        again = compiled.run(matrix, params, options=RunOptions(exec_mode=MODE_VECTORIZED))
         assert np.isfinite(again.output).all()
 
 
@@ -85,7 +86,7 @@ class TestWireDtype:
 class TestStageObservability:
     def test_run_result_carries_stage_seconds(self, compiled, tmv_case):
         matrix, params = tmv_case
-        result = compiled.run(matrix, params, exec_mode=MODE_VECTORIZED)
+        result = compiled.run(matrix, params, options=RunOptions(exec_mode=MODE_VECTORIZED))
         assert set(result.stage_seconds) == {
             "select", "restructure", "h2d", "kernel", "d2h", "compile"}
         assert all(v >= 0.0 for v in result.stage_seconds.values())
@@ -94,15 +95,15 @@ class TestStageObservability:
     def test_cold_run_records_compile_warm_run_does_not(self, compiled,
                                                         tmv_case):
         matrix, params = tmv_case
-        cold = compiled.run(matrix, params, exec_mode=MODE_VECTORIZED)
-        warm = compiled.run(matrix, params, exec_mode=MODE_VECTORIZED)
+        cold = compiled.run(matrix, params, options=RunOptions(exec_mode=MODE_VECTORIZED))
+        warm = compiled.run(matrix, params, options=RunOptions(exec_mode=MODE_VECTORIZED))
         assert cold.stage_seconds["compile"] > 0.0
         assert warm.stage_seconds["compile"] == 0.0
 
     def test_stats_aggregate_stages_and_counters(self, compiled, tmv_case):
         matrix, params = tmv_case
-        compiled.run(matrix, params, exec_mode=MODE_VECTORIZED)
-        compiled.run(matrix, params, exec_mode=MODE_VECTORIZED)
+        compiled.run(matrix, params, options=RunOptions(exec_mode=MODE_VECTORIZED))
+        compiled.run(matrix, params, options=RunOptions(exec_mode=MODE_VECTORIZED))
         stats = compiled.stats
         assert stats.runs == 2
         assert stats.expr_compiles > 0          # all from the cold run
@@ -115,10 +116,10 @@ class TestStageObservability:
 class TestWarmupAndRunMany:
     def test_warmup_makes_next_run_compile_free(self, compiled, tmv_case):
         matrix, params = tmv_case
-        compiled.warmup(params, exec_mode=MODE_VECTORIZED)
+        compiled.warmup(params, options=RunOptions(exec_mode=MODE_VECTORIZED))
         before = COMPILE_COUNTER.snapshot()
         restructure_before = RESTRUCTURE_COUNTER.snapshot()
-        result = compiled.run(matrix, params, exec_mode=MODE_VECTORIZED)
+        result = compiled.run(matrix, params, options=RunOptions(exec_mode=MODE_VECTORIZED))
         assert COMPILE_COUNTER.since(before).total == 0
         assert RESTRUCTURE_COUNTER.since(restructure_before).perm_builds == 0
         expected = tmv.reference(matrix, params["vec"], params["rows"],
@@ -128,7 +129,7 @@ class TestWarmupAndRunMany:
     def test_run_many_broadcasts_single_params(self, compiled, tmv_case):
         matrix, params = tmv_case
         results = compiled.run_many([matrix, matrix, matrix], params,
-                                    exec_mode=MODE_VECTORIZED)
+                                    options=RunOptions(exec_mode=MODE_VECTORIZED))
         assert len(results) == 3
         first = results[0].output.tobytes()
         assert all(r.output.tobytes() == first for r in results)
@@ -138,19 +139,18 @@ class TestWarmupAndRunMany:
                  for rows, cols in ((8, 32), (32, 8))]
         inputs = [m for m, _v, _p in cases]
         params_list = [p for _m, _v, p in cases]
-        single = [compiled.run(m, p, exec_mode=MODE_VECTORIZED).output
+        single = [compiled.run(m, p, options=RunOptions(exec_mode=MODE_VECTORIZED)).output
                   for m, p in zip(inputs, params_list)]
         batched = compiled.run_many(inputs, params_list,
-                                    exec_mode=MODE_VECTORIZED)
+                                    options=RunOptions(exec_mode=MODE_VECTORIZED))
         for out, result in zip(single, batched):
             assert result.output.tobytes() == out.tobytes()
 
     def test_run_many_workers_match_serial(self, compiled, tmv_case):
         matrix, params = tmv_case
         serial = compiled.run_many([matrix] * 4, params,
-                                   exec_mode=MODE_VECTORIZED)
-        threaded = compiled.run_many([matrix] * 4, params, workers=2,
-                                     exec_mode=MODE_VECTORIZED)
+                                   options=RunOptions(exec_mode=MODE_VECTORIZED))
+        threaded = compiled.run_many([matrix] * 4, params, options=RunOptions(workers=2, exec_mode=MODE_VECTORIZED))
         for a, b in zip(serial, threaded):
             assert a.output.tobytes() == b.output.tobytes()
 
@@ -162,23 +162,23 @@ class TestWarmupAndRunMany:
     def test_stats_reset_between_batches(self, compiled, tmv_case):
         """Satellite: counters reset cleanly across run_many batches."""
         matrix, params = tmv_case
-        compiled.run_many([matrix] * 3, params, exec_mode=MODE_VECTORIZED)
+        compiled.run_many([matrix] * 3, params, options=RunOptions(exec_mode=MODE_VECTORIZED))
         assert compiled.stats.runs == 4      # 3 + the internal warmup
         compiled.stats.reset()
         assert compiled.stats.runs == 0
         assert compiled.stats.select_calls == 0
         assert compiled.stats.kernel_seconds == 0.0
         compiled.run_many([matrix] * 2, params, warm=False,
-                          exec_mode=MODE_VECTORIZED)
+                          options=RunOptions(exec_mode=MODE_VECTORIZED))
         assert compiled.stats.runs == 2
         assert compiled.stats.expr_compiles == 0     # batch stayed warm
 
     def test_clear_warm_caches_forces_recompile(self, compiled, tmv_case):
         matrix, params = tmv_case
-        compiled.run(matrix, params, exec_mode=MODE_VECTORIZED)
+        compiled.run(matrix, params, options=RunOptions(exec_mode=MODE_VECTORIZED))
         compiled.clear_warm_caches()
         before = COMPILE_COUNTER.snapshot()
-        compiled.run(matrix, params, exec_mode=MODE_VECTORIZED)
+        compiled.run(matrix, params, options=RunOptions(exec_mode=MODE_VECTORIZED))
         assert COMPILE_COUNTER.since(before).total > 0
 
 
