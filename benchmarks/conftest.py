@@ -25,6 +25,10 @@ _FUSEDEXEC_RECORDS = {}
 #: ``BENCH_multiaxis.json`` (same contract as the fusedexec records).
 _MULTIAXIS_RECORDS = {}
 
+#: Metrics accumulated by placement benchmarks this session, written to
+#: ``BENCH_placement.json`` (same contract as the fusedexec records).
+_PLACEMENT_RECORDS = {}
+
 
 def emit(result) -> None:
     """Print a figure table (visible with ``-s``; captured otherwise)."""
@@ -53,9 +57,18 @@ def multiaxis_record():
     return record
 
 
+@pytest.fixture
+def placement_record():
+    """Record one placement metric for ``BENCH_placement.json``."""
+    def record(name: str, **numbers) -> None:
+        _PLACEMENT_RECORDS[name] = numbers
+    return record
+
+
 def pytest_sessionfinish(session, exitstatus):
     for records, filename in ((_FUSEDEXEC_RECORDS, "BENCH_fusedexec.json"),
-                              (_MULTIAXIS_RECORDS, "BENCH_multiaxis.json")):
+                              (_MULTIAXIS_RECORDS, "BENCH_multiaxis.json"),
+                              (_PLACEMENT_RECORDS, "BENCH_placement.json")):
         if not records:
             continue
         path = os.path.join(os.getcwd(), filename)

@@ -23,7 +23,7 @@ from typing import List, Optional
 
 from . import api, apps
 from .experiments import (code_size, fig01, fig09, fig10, fig11, fig12,
-                          multiaxis, sec53)
+                          multiaxis, placement, sec53)
 from .gpu import TARGETS, get_target
 from .compiler import RunOptions
 
@@ -53,8 +53,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("command",
                         help="figures | apps | all | report | describe | "
                              "calibration | health | serve-bench | bundle | "
-                             "fig01 | fig09 | fig10 | fig11 | fig12 | sec53 "
-                             "| code_size | multiaxis")
+                             "placement | fig01 | fig09 | fig10 | fig11 | "
+                             "fig12 | sec53 | code_size | multiaxis")
     parser.add_argument("name", nargs="?",
                         help="application name (describe/calibration) or "
                              "bundle action (save/load/inspect)")
@@ -171,6 +171,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "health":
         return _health(spec, workers=args.workers)
+    if args.command == "placement":
+        return _placement(spec)
     if args.command == "serve-bench":
         return _serve_bench(spec, args)
     if args.command == "bundle":
@@ -239,6 +241,31 @@ def _bundle(parser, args, spec) -> int:
         return 0
     parser.error("bundle needs an action: save | load | inspect")
     return 2
+
+
+def _placement(spec) -> int:
+    """``placement`` — heterogeneous CPU/GPU placement self-check.
+
+    Sweeps image shapes through the placement-compiled pipeline and
+    prints, per shape, where each segment ran and the measured wall of
+    automatic placement vs the same program pinned all-GPU.  Exits
+    nonzero unless at least one shape's CPU-placed chain beat all-GPU,
+    the baked auto path answered with zero runtime model evaluations,
+    and every pair of outputs was bit-identical.
+    """
+    report = placement.placement_report(spec=spec)
+    print(f"# heterogeneous placement — imagepipe on {spec.name}")
+    print(f"{'shape':>10s} {'placements':40s} {'auto_us':>10s} "
+          f"{'gpu_us':>10s} {'speedup':>8s} {'identical':>9s}")
+    for row in report["rows"]:
+        print(f"{row['shape']:>10s} {row['placements']:40s} "
+              f"{row['auto_wall_us']:10.1f} {row['gpu_wall_us']:10.1f} "
+              f"{row['auto_speedup']:8.2f} {str(row['bit_identical']):>9s}")
+    print(f"CPU-placed wins    {report['cpu_win_shapes'] or 'none'}")
+    print(f"runtime model evals {report['runtime_evals']}")
+    print(f"outputs identical  {report['bit_identical']}")
+    print(f"verdict            {'OK' if report['ok'] else 'FAIL'}")
+    return 0 if report["ok"] else 1
 
 
 def _serve_bench(spec, args) -> int:

@@ -79,6 +79,14 @@ class AdapticOptions:
     #: Optional :class:`~repro.faults.FaultInjector` threaded into the
     #: compiled program's runtime and devices (testing/chaos drills).
     faults: object = None
+    #: Heterogeneous placement as a selection axis: map segments also get
+    #: host (CPU) plan variants priced by the host vector model, the cost
+    #: layer charges per-candidate transfer direction and layout
+    #: transforms, and the runtime materializes h2d/d2h hops at
+    #: CPU/GPU placement boundaries.  Opt-in because it adds candidates
+    #: (selection outcomes can change) — default-off programs stay
+    #: bit-identical to pre-placement behavior.
+    placement: bool = False
 
     @staticmethod
     def baseline() -> "AdapticOptions":
@@ -98,6 +106,10 @@ class AdapticOptions:
             # program has a distinct bundle identity; default-off
             # programs keep their historical fingerprints.
             parts.append("fuse")
+        if self.placement:
+            # Placement-enabled programs carry extra variants and
+            # placement-aware tables — a distinct bundle identity.
+            parts.append("place")
         return "+".join(parts)
 
 
@@ -528,6 +540,10 @@ class AdapticCompiler:
                                          layout, opts.threads,
                                          items_per_thread=ipt,
                                          fused_actors=spec.fused))
+        if opts.placement:
+            from .plans import HostMapPlan
+            plans.append(HostMapPlan(self.spec, name, shape, pattern.outputs,
+                                     arrays_fn, gather=spec.gather))
         if spec.transformed:
             for plan in plans:
                 plan.optimizations = (plan.optimizations

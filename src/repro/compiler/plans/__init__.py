@@ -2,7 +2,7 @@
 
 from .base import (IN, LAYOUT_INTERLEAVED, LAYOUT_RESTRUCTURED, OUT,
                    KernelPlan, PlannedLaunch)
-from .cpuplan import CpuPlan
+from .cpuplan import CpuPlan, HostMapPlan
 from .genericplan import GenericActorPlan, GenericShape
 from .mapplan import MapPlan, MapShape
 from .reduceplan import (LAYOUT_ROW_SOA, LAYOUT_ROWS, LAYOUT_TRANSPOSED,
@@ -22,5 +22,5 @@ __all__ = [
     "LAYOUT_ROWS", "LAYOUT_ROW_SOA", "LAYOUT_TRANSPOSED",
     "StencilShape", "TiledStencilPlan", "NaiveStencilPlan",
     "decompose_offsets", "linear_offsets", "reuse_metric",
-    "CpuPlan",
+    "CpuPlan", "HostMapPlan",
 ]

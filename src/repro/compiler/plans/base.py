@@ -74,6 +74,13 @@ class KernelPlan(abc.ABC):
     #: Human-readable strategy tag shown in reports (e.g. "reduce.two_kernel").
     strategy: str = "generic"
 
+    #: Device this plan executes on: ``"gpu"`` plans consume device
+    #: buffers, ``"cpu"`` plans compute on host arrays via
+    #: :meth:`execute_host`.  Heterogeneous placement treats this as a
+    #: selection axis — the runtime materializes the implied h2d/d2h
+    #: hops at placement boundaries, and the cost layer charges them.
+    placement: str = "gpu"
+
     def __init__(self, spec: GPUSpec, name: str):
         self.spec = spec
         self.name = name
@@ -124,6 +131,18 @@ class KernelPlan(abc.ABC):
     def execute(self, device: Device, buffers: Dict[str, DeviceArray],
                 params: Dict[str, float]) -> DeviceArray:
         """Run functionally; returns the segment output buffer."""
+
+    def execute_host(self, data: np.ndarray,
+                     params: Dict[str, float]) -> np.ndarray:
+        """Run on the host: consume a host array, return a host array.
+
+        Only meaningful for ``placement == "cpu"`` plans; the runtime
+        calls this instead of :meth:`execute` when the segment is placed
+        on the CPU, so no device buffer round-trip happens at all.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} ({self.strategy}) is a GPU plan; "
+            f"it has no host execution path")
 
     def chain_stage(self, params: Dict[str, float]):
         """Chain-level ``vector_body`` contract (segment-chain fusion).

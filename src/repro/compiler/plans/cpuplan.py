@@ -9,7 +9,7 @@ curve, which is all the CPU/GPU placement decision needs.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -17,8 +17,12 @@ from ...gpu import Device, DeviceArray, GPUSpec
 from ...ir import nodes as N
 from ...ir.interp import WorkInterpreter
 from ...perfmodel import PerformanceModel
+from ...perfmodel.hostmodel import (HOST_MEM_BANDWIDTH_GBPS,
+                                    HOST_VECTOR_DISPATCH_SECONDS,
+                                    HOST_VECTOR_OPS_PER_SECOND)
 from ..costing import count_dynamic
-from .base import IN, KernelPlan, PlannedLaunch
+from ..exprgen import compile_vector_fn
+from .base import (IN, KernelPlan, PlannedLaunch, expr_aux_loads, expr_ops)
 
 #: Sustained host throughput for interpreter-style scalar work, ops/second.
 CPU_OPS_PER_SECOND = 2.0e9
@@ -30,6 +34,7 @@ class CpuPlan(KernelPlan):
     """Run the actor's work function on the host."""
 
     strategy = "cpu.interpreter"
+    placement = "cpu"
 
     def __init__(self, spec: GPUSpec, name: str, work: N.WorkFunction,
                  invocations: Callable[[Dict], int],
@@ -58,17 +63,112 @@ class CpuPlan(KernelPlan):
     def output_size(self, params) -> int:
         return self._invocations(params) * int(self._push(params))
 
-    def execute(self, device: Device, buffers, params) -> DeviceArray:
+    def execute_host(self, data, params) -> np.ndarray:
         invocations = self._invocations(params)
-        tape = list(buffers[IN].data)
+        tape = list(data)
         interp = WorkInterpreter(self.work, params, state=dict(self.state))
         outputs: List[float] = []
         cursor = 0
         for _ in range(invocations):
             out, cursor = interp.run(tape, cursor)
             outputs.extend(out)
-        return device.alloc_from(np.asarray(outputs, dtype=np.float64),
+        return np.asarray(outputs, dtype=np.float64)
+
+    def execute(self, device: Device, buffers, params) -> DeviceArray:
+        return device.alloc_from(self.execute_host(buffers[IN].data, params),
                                  name=f"{self.name}.out")
 
     def cuda_source(self) -> str:
         return f"// {self.name}: executed on the host CPU\n"
+
+
+class HostMapPlan(KernelPlan):
+    """Whole-stream vectorized host execution of a map segment.
+
+    The heterogeneous-placement counterpart of
+    :class:`~repro.compiler.plans.mapplan.MapPlan`: the same compiled
+    vector element functions applied to the full iteration space as one
+    numpy expression on the host — no device buffers, no launches, no
+    transfers.  Elementwise numpy arithmetic is chunk-size independent,
+    so the host result is bit-identical to the GPU vectorized path's.
+
+    Priced by the host vector model (dispatch + compute throughput +
+    memory bandwidth): wins small and awkward shapes where kernel-launch
+    overhead and PCIe hops dominate, loses large ones where GPU
+    throughput does.
+    """
+
+    strategy = "cpu.vector_map"
+    placement = "cpu"
+
+    def __init__(self, spec: GPUSpec, name: str, shape,
+                 outputs: Sequence[N.Expr],
+                 arrays_fn: Callable[[Dict], Dict[str, np.ndarray]] = None,
+                 gather: N.Expr = None):
+        super().__init__(spec, name)
+        self.shape = shape
+        self.outputs = list(outputs)
+        self.arrays_fn = arrays_fn or (lambda params: {})
+        self.gather = gather
+        if gather is not None and shape.pops_per_iter != 1:
+            raise ValueError("gather maps require pops_per_iter == 1")
+        self.optimizations = ["cpu_placement", "host_vectorization"]
+
+    def launches(self, params) -> List[PlannedLaunch]:
+        return []
+
+    def predicted_seconds(self, model: PerformanceModel, params) -> float:
+        iterations = self.shape.iterations(params)
+        k = self.shape.pops_per_iter
+        m = self.shape.pushes_per_iter
+        ops = sum(expr_ops(o) for o in self.outputs) + 3
+        aux = sum(expr_aux_loads(o) for o in self.outputs)
+        if self.gather is not None:
+            ops += expr_ops(self.gather)
+        traffic_bytes = (k + m + aux) * iterations * 8
+        return (HOST_VECTOR_DISPATCH_SECONDS
+                + ops * iterations / HOST_VECTOR_OPS_PER_SECOND
+                + traffic_bytes / (HOST_MEM_BANDWIDTH_GBPS * 1e9))
+
+    def output_size(self, params) -> int:
+        return self.shape.output_size(params)
+
+    def _compiled_vfns(self, params):
+        def build():
+            arrays = self.arrays_fn(params)
+            k = self.shape.pops_per_iter
+            arg_names = [f"_x{j}" for j in range(k)] + ["_i"]
+            vfns = [compile_vector_fn(o, arg_names, params,
+                                      name=f"vout{idx}", arrays=arrays)
+                    for idx, o in enumerate(self.outputs)]
+            vgather = None
+            if self.gather is not None:
+                vgather = compile_vector_fn(self.gather, ["_i"], params,
+                                            name="vgather", arrays=arrays)
+            return vfns, vgather
+        return self.cached_artifact("host_map_fns", params, build)
+
+    def execute_host(self, data, params) -> np.ndarray:
+        iterations = self.shape.iterations(params)
+        k = self.shape.pops_per_iter
+        m = self.shape.pushes_per_iter
+        vfns, vgather = self._compiled_vfns(params)
+        data = np.asarray(data, dtype=np.float64).reshape(-1)
+        out = np.empty(self.output_size(params), dtype=np.float64)
+        i = np.arange(iterations, dtype=np.int64)
+        if vgather is not None:
+            gidx = np.asarray(vgather(i)).astype(np.int64)
+            vals = [data[gidx]]
+        else:
+            vals = [data[i * k + j] for j in range(k)]
+        for idx, vfn in enumerate(vfns):
+            out[i * m + idx] = vfn(*vals, i)
+        return out
+
+    def execute(self, device: Device, buffers, params) -> DeviceArray:
+        out = self.execute_host(buffers[IN].data, params)
+        return device.alloc_from(out, name=f"{self.name}.out")
+
+    def cuda_source(self) -> str:
+        return (f"// {self.name}: vectorized host map "
+                f"(heterogeneous placement)\n")

@@ -24,6 +24,7 @@ class CpuGraphPlan(KernelPlan):
     """Interpret a stream subgraph on the host."""
 
     strategy = "cpu.subgraph"
+    placement = "cpu"
 
     def __init__(self, spec: GPUSpec, name: str, stream, threads: int = 256):
         super().__init__(spec, name)
@@ -60,14 +61,16 @@ class CpuGraphPlan(KernelPlan):
             total_ops += per * sched.repetitions[node.id]
         return CPU_DISPATCH_SECONDS + total_ops / CPU_OPS_PER_SECOND
 
-    def execute(self, device: Device, buffers: Dict[str, DeviceArray],
-                params) -> DeviceArray:
-        data = buffers[IN].data
+    def execute_host(self, data, params) -> np.ndarray:
         sched = self._schedule(params)
         states = self._steady_states(params, len(data))
         output = run_graph(self.graph, sched, data, params,
                            steady_states=states)
-        return device.alloc_from(np.asarray(output, dtype=np.float64),
+        return np.asarray(output, dtype=np.float64)
+
+    def execute(self, device: Device, buffers: Dict[str, DeviceArray],
+                params) -> DeviceArray:
+        return device.alloc_from(self.execute_host(buffers[IN].data, params),
                                  name=f"{self.name}.out")
 
     def cuda_source(self) -> str:

@@ -25,6 +25,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import itertools
+import math
 import threading
 import time
 import warnings
@@ -44,7 +45,8 @@ from ..gpu import Device, EXEC_MODES, ExecMode, GPUSpec, MODE_REFERENCE, \
     MODE_VECTORIZED, PCIE_BANDWIDTH_GBPS
 from ..perfmodel import AxisSpec, CalibrationStore, DecisionTable, \
     FeedbackConfig, PerformanceModel, RegionTable, Variant, geometric_points, \
-    size_bucket, sweep_axis, sweep_region
+    hop_seconds, layout_transform_seconds, size_bucket, sweep_axis, \
+    sweep_region
 from .costing import predicted_chain_fuse_gain
 from .exprgen import COMPILE_COUNTER, SOURCE_REGISTRY, compile_chain_fn
 from .plans.base import IN, KernelPlan, RESTRUCTURE_COUNTER, freeze_arrays, \
@@ -125,6 +127,10 @@ class RunOptions:
     workers: int = 1
     #: Batch executor backend: ``"thread"`` or ``"process"``.
     backend: str = "thread"
+    #: Placement constraint: ``"auto"`` lets the cost model choose per
+    #: segment, ``"gpu"`` / ``"cpu"`` pin every segment that has a plan
+    #: on that side (segments without one keep their only placement).
+    placement: str = "auto"
 
     def __post_init__(self):
         self.exec_mode = ExecMode.coerce(self.exec_mode, stacklevel=4)
@@ -135,6 +141,10 @@ class RunOptions:
                 f"'thread' or 'process'")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.placement not in ("auto", "gpu", "cpu"):
+            raise ValueError(
+                f"unknown placement {self.placement!r}; expected "
+                f"'auto', 'gpu' or 'cpu'")
 
 
 def _resolve_run_options(options: Optional[RunOptions],
@@ -289,6 +299,14 @@ class CompiledProgram:
         #: Memoized transfer model per frozen-scalar binding (the size
         #: expressions it evaluates are pure in the scalars).
         self._transfer_memo: Dict[tuple, float] = {}
+        #: Direction-aware transfer memo for non-default (location,
+        #: placement) shapes; never serialized into bundles — the legacy
+        #: all-GPU host-resident values above are the bundle payload.
+        self._directed_transfer_memo: Dict[tuple, float] = {}
+        #: Whether the compile options made placement a selection axis
+        #: (CPU plan variants priced against GPU ones, boundary transfer
+        #: and layout costs included in sweeps and argmin fallback).
+        self._placement = bool(getattr(options, "placement", False))
         #: Measured-feedback state: per-family EWMA calibration factors,
         #: raw observations, probe budgets (repro.perfmodel.calibration).
         self.calibration = CalibrationStore()
@@ -358,10 +376,72 @@ class CompiledProgram:
             return self.cost
         return _CalibratedCost(self.cost, self.calibration)
 
+    def _placement_extra(self, segment: Segment, plan: KernelPlan,
+                         params: Dict[str, float], prev: Optional[str],
+                         first: bool, last: bool,
+                         entry_on_host: bool = True) -> float:
+        """Additive boundary cost of placing ``plan`` after ``prev``.
+
+        Placement-aware pricing charges what the chain-level transfer
+        model will: a PCIe hop whenever the data must change sides to
+        reach this plan (host entry counts as the CPU side, a
+        device-resident entry as the GPU side), a host-side layout
+        gather when a non-canonical GPU plan stages a host input, and
+        the exit D2H when the last segment runs on the GPU.  Used only
+        when placement is a selection axis, so legacy programs rank
+        variants exactly as before.
+        """
+        placement = getattr(plan, "placement", "gpu")
+        itemsize = self.wire_dtype.itemsize
+        extra = 0.0
+        if first:
+            prev = "cpu" if entry_on_host else "gpu"
+        if prev is not None and placement != prev:
+            extra += hop_seconds(segment.input_size(params) * itemsize)
+        if first and entry_on_host and placement == "gpu" \
+                and plan.input_layout not in _CANONICAL:
+            extra += layout_transform_seconds(
+                segment.input_size(params) * itemsize)
+        if last and placement == "gpu":
+            extra += hop_seconds(segment.output_size(params) * itemsize)
+        return extra
+
+    def _placed_argmin(self, cost, segment: Segment,
+                       plans: Sequence[KernelPlan],
+                       params: Dict[str, float], prev: Optional[str],
+                       first: bool, last: bool,
+                       entry_on_host: bool) -> KernelPlan:
+        """Exact argmin with boundary transfer/layout terms included."""
+        best, best_seconds = None, math.inf
+        for plan in plans:
+            seconds = cost.plan_seconds(plan, params) \
+                + self._placement_extra(segment, plan, params, prev,
+                                        first, last, entry_on_host)
+            if math.isfinite(seconds) and seconds < best_seconds:
+                best, best_seconds = plan, seconds
+        if best is None:
+            raise SelectionError(
+                f"no plan of segment {segment.name!r} has a finite "
+                f"placed cost for params {dict(freeze_scalars(params))}",
+                segment=segment.name)
+        return best
+
+    @staticmethod
+    def _restrict_placement(plans: Sequence[KernelPlan],
+                            placement: str) -> List[KernelPlan]:
+        """Plans on the requested side; all of them when none is there
+        (a segment without a CPU variant keeps its GPU one — pinning
+        constrains what it can, it never makes a segment unrunnable)."""
+        if placement == "auto":
+            return list(plans)
+        matching = [p for p in plans
+                    if getattr(p, "placement", "gpu") == placement]
+        return matching or list(plans)
+
     def select(self, params: Dict[str, float],
                force: Optional[Dict[str, str]] = None, *,
-               input_on_host: Union[InputLocation, bool] = InputLocation.HOST
-               ) -> List[KernelPlan]:
+               input_on_host: Union[InputLocation, bool] = InputLocation.HOST,
+               placement: str = "auto") -> List[KernelPlan]:
         """Pick one plan per segment for this input (runtime management).
 
         ``input_on_host=InputLocation.DEVICE`` marks inputs already
@@ -372,7 +452,14 @@ class CompiledProgram:
         A segment with a baked, applicable dispatch table is decided by
         bisect with zero model evaluations; everything else falls back to
         the exact (memoized) model-argmin — calibrated by the measured
-        feedback factors when any have been learned.
+        feedback factors when any have been learned.  With placement
+        compiled as a selection axis the fallback prices each candidate's
+        boundary transfers (and the baked tables already did), so a CPU
+        variant wins exactly where hops plus host compute beat the GPU
+        chain.  ``placement="gpu"`` / ``"cpu"`` pins every segment that
+        has a plan on that side (overriding baked winners on the other
+        side); the default ``"auto"`` keeps the zero-evaluation table
+        path.
         """
         started = time.perf_counter()
         stats = self.stats
@@ -380,10 +467,13 @@ class CompiledProgram:
         force = force or {}
         cost = self._selection_cost()
         chosen: List[KernelPlan] = []
-        from_host = InputLocation.coerce(input_on_host).on_host
+        location = InputLocation.coerce(input_on_host)
+        from_host = location.on_host
         quarantined = self.calibration.has_quarantines()
         bucket = size_bucket(params) if quarantined else None
-        for segment in self.segments:
+        prev_placement: Optional[str] = None
+        last_index = len(self.segments) - 1
+        for index, segment in enumerate(self.segments):
             if segment.name in force:
                 plan = segment.plan_named(force[segment.name])
                 stats.forced_selections += 1
@@ -395,6 +485,12 @@ class CompiledProgram:
                             and self.calibration.is_quarantined(winner,
                                                                 bucket)):
                         winner = None   # baked winner is quarantined
+                    if (winner is not None and placement != "auto"
+                            and getattr(segment.plan_named(winner),
+                                        "placement", "gpu") != placement
+                            and any(getattr(p, "placement", "gpu")
+                                    == placement for p in segment.plans)):
+                        winner = None   # baked winner is on the wrong side
                     if winner is not None:
                         plan = segment.plan_named(winner)
                         stats.table_hits += 1
@@ -403,12 +499,55 @@ class CompiledProgram:
                 if plan is None:
                     if segment.dispatch is not None:
                         stats.table_fallbacks += 1
-                    eligible = self._eligible(segment, from_host, params)
-                    plan = segment.best_plan(cost, params,
-                                             plans=eligible)
+                    eligible = self._restrict_placement(
+                        self._eligible(segment, from_host, params),
+                        placement)
+                    if self._placement:
+                        plan = self._placed_argmin(
+                            cost, segment, eligible, params,
+                            prev_placement, index == 0,
+                            index == last_index, location.on_host)
+                    else:
+                        plan = segment.best_plan(cost, params,
+                                                 plans=eligible)
             chosen.append(plan)
+            prev_placement = getattr(plan, "placement", "gpu")
             from_host = False
         stats.select_seconds += time.perf_counter() - started
+        return chosen
+
+    def select_argmin(self, params: Dict[str, float], *,
+                      model: Optional[PerformanceModel] = None,
+                      input_on_host: Union[InputLocation, bool]
+                      = InputLocation.HOST,
+                      placement: str = "auto") -> List[KernelPlan]:
+        """Exact per-call argmin selection over a bare model.
+
+        What ``select()`` would cost without the baked fast path or the
+        memoized cache: every call re-evaluates the analytic model for
+        every eligible candidate.  The dispatch-cost benchmarks use this
+        as the un-amortized baseline, and tests use it to cross-check
+        baked winners.  Counters are untouched.
+        """
+        cost = CostCache(model or PerformanceModel(self.spec))
+        location = InputLocation.coerce(input_on_host)
+        from_host = location.on_host
+        chosen: List[KernelPlan] = []
+        prev: Optional[str] = None
+        last_index = len(self.segments) - 1
+        for index, segment in enumerate(self.segments):
+            eligible = self._restrict_placement(
+                self._eligible(segment, from_host, params), placement)
+            if self._placement:
+                plan = self._placed_argmin(cost, segment, eligible, params,
+                                           prev, index == 0,
+                                           index == last_index,
+                                           location.on_host)
+            else:
+                plan = segment.best_plan(cost, params, plans=eligible)
+            chosen.append(plan)
+            prev = getattr(plan, "placement", "gpu")
+            from_host = False
         return chosen
 
     # ------------------------------------------------------------------
@@ -418,31 +557,70 @@ class CompiledProgram:
                           include_transfers: bool = True,
                           force: Optional[Dict[str, str]] = None, *,
                           input_on_host: Union[InputLocation, bool]
-                          = InputLocation.HOST) -> float:
+                          = InputLocation.HOST,
+                          placement: str = "auto") -> float:
         location = InputLocation.coerce(input_on_host)
-        plans = self.select(params, force, input_on_host=location)
+        plans = self.select(params, force, input_on_host=location,
+                            placement=placement)
         cost = self._selection_cost()
         total = sum(cost.plan_seconds(plan, params) for plan in plans)
         if include_transfers:
-            total += self.transfer_seconds(params)
+            total += self.transfer_seconds(
+                params, location=location,
+                placements=(tuple(getattr(p, "placement", "gpu")
+                                  for p in plans)
+                            if self._placement else None))
         return total
 
-    def transfer_seconds(self, params: Dict[str, float]) -> float:
-        """H2D of the program input + D2H of the output.
+    def transfer_seconds(self, params: Dict[str, float], *,
+                         location: Union[InputLocation, bool]
+                         = InputLocation.HOST,
+                         placements: Optional[Sequence[str]] = None
+                         ) -> float:
+        """Modeled transfer time of one run, by direction and placement.
 
         Sized by :attr:`wire_dtype` — the same dtype ``run()`` stages
         inputs in — so the model and the recorded transfers count the
-        same bytes.  Memoized per frozen-scalar binding; the warm path
-        queries it every run.
+        same bytes.  The historical call shape (host-resident input,
+        all-GPU chain) keeps its memoized H2D-input + D2H-output value
+        bit-for-bit.  Otherwise the cost is directional: a
+        device-resident input pays no entry H2D (it used to be charged
+        one — the double-count this model replaces), a CPU-placed prefix
+        runs straight off the host buffer, and each CPU↔GPU boundary
+        inside the chain pays exactly one hop sized by the segment
+        input crossing it.  A chain ending on the CPU pays no exit D2H.
         """
-        key = freeze_scalars(params)
-        seconds = self._transfer_memo.get(key)
+        location = InputLocation.coerce(location)
+        placements = tuple(placements) if placements is not None else None
+        all_gpu = placements is None or all(p == "gpu" for p in placements)
+        if location.on_host and all_gpu:
+            key = freeze_scalars(params)
+            seconds = self._transfer_memo.get(key)
+            if seconds is None:
+                n_in = self.segments[0].input_size(params)
+                n_out = self.segments[-1].output_size(params)
+                nbytes = (n_in + n_out) * self.wire_dtype.itemsize
+                seconds = nbytes / (PCIE_BANDWIDTH_GBPS * 1e9) + 2e-5
+                self._transfer_memo[key] = seconds
+            return seconds
+        if placements is None:
+            placements = ("gpu",) * len(self.segments)
+        key = (freeze_scalars(params), location.value, placements)
+        seconds = self._directed_transfer_memo.get(key)
         if seconds is None:
-            n_in = self.segments[0].input_size(params)
-            n_out = self.segments[-1].output_size(params)
-            nbytes = (n_in + n_out) * self.wire_dtype.itemsize
-            seconds = nbytes / (PCIE_BANDWIDTH_GBPS * 1e9) + 2e-5
-            self._transfer_memo[key] = seconds
+            itemsize = self.wire_dtype.itemsize
+            entry = "cpu" if location.on_host else "gpu"
+            seconds = 0.0
+            side = entry
+            for segment, placement in zip(self.segments, placements):
+                if placement != side:
+                    seconds += hop_seconds(
+                        segment.input_size(params) * itemsize)
+                    side = placement
+            if side == "gpu":     # deliver the output back to the host
+                seconds += hop_seconds(
+                    self.segments[-1].output_size(params) * itemsize)
+            self._directed_transfer_memo[key] = seconds
         return seconds
 
     # ------------------------------------------------------------------
@@ -599,12 +777,17 @@ class CompiledProgram:
                 return plan_costs[id(plan)]
             return self.cost.plan_seconds(plan, params)
 
+        placed = self._placement
         try:
             with device.scope():
                 buf = None
+                hostval = None       # host-resident value between CPU plans
+                on_device = False
                 index = 0
                 while index < len(self.segments):
                     segment, plan = self.segments[index], plans[index]
+                    plan_on_cpu = placed and \
+                        getattr(plan, "placement", "gpu") == "cpu"
                     if index == 0:
                         staged = host_input
                         if input_on_host:
@@ -612,12 +795,35 @@ class CompiledProgram:
                             staged = plan.restructure_input(host_input,
                                                             params)
                             stage["restructure"] = time.perf_counter() - t
-                        t = time.perf_counter()
-                        buf = device.to_device(staged,
-                                               name=f"{segment.name}.in")
-                        stage["h2d"] = time.perf_counter() - t
+                        if plan_on_cpu and input_on_host:
+                            # CPU-placed entry: the data never leaves the
+                            # host — the H2D (and the final D2H, if the
+                            # whole chain stays on the CPU) is elided,
+                            # which is exactly what its selection priced.
+                            hostval = staged
+                        else:
+                            t = time.perf_counter()
+                            buf = device.to_device(staged,
+                                                   name=f"{segment.name}.in")
+                            stage["h2d"] += time.perf_counter() - t
+                            on_device = True
+                            if plan_on_cpu:
+                                # Device-resident input feeding a CPU
+                                # plan pays the D2H hop its cost carried.
+                                t = time.perf_counter()
+                                hostval = device.to_host(buf)
+                                stage["d2h"] += time.perf_counter() - t
+                                on_device = False
                     span = spans.get(index) if spans else None
                     if span is not None:
+                        if placed and not on_device:
+                            t = time.perf_counter()
+                            buf = device.to_device(
+                                np.asarray(hostval,
+                                           dtype=np.float64).reshape(-1),
+                                name=f"{segment.name}.in")
+                            stage["h2d"] += time.perf_counter() - t
+                            on_device = True
                         end, fn, sizes = span
                         t = time.perf_counter()
                         outs = self._execute_fused_span(
@@ -647,14 +853,35 @@ class CompiledProgram:
                                                + ["chain_fusion"]),
                                 measured_seconds=span_wall * share))
                         buf = outs[-1]
+                        on_device = True
                         index = end
                         continue
                     seconds = plan_seconds(plan)
                     predicted += seconds
-                    t = time.perf_counter()
-                    buf = self._execute_segment(segment, plan, index,
-                                                device, buf, params)
-                    plan_wall = time.perf_counter() - t
+                    if plan_on_cpu:
+                        if on_device:
+                            t = time.perf_counter()
+                            hostval = device.to_host(buf)
+                            stage["d2h"] += time.perf_counter() - t
+                            on_device = False
+                        t = time.perf_counter()
+                        hostval = self._execute_segment_host(
+                            segment, plan, index, hostval, params)
+                        plan_wall = time.perf_counter() - t
+                    else:
+                        if placed and not on_device:
+                            t = time.perf_counter()
+                            buf = device.to_device(
+                                np.asarray(hostval,
+                                           dtype=np.float64).reshape(-1),
+                                name=f"{segment.name}.in")
+                            stage["h2d"] += time.perf_counter() - t
+                            on_device = True
+                        t = time.perf_counter()
+                        buf = self._execute_segment(segment, plan, index,
+                                                    device, buf, params)
+                        plan_wall = time.perf_counter() - t
+                        on_device = True
                     stage["kernel"] += plan_wall
                     selections.append(SegmentExecution(
                         segment=segment.name, kind=segment.kind,
@@ -662,9 +889,13 @@ class CompiledProgram:
                         optimizations=list(plan.optimizations),
                         measured_seconds=plan_wall))
                     index += 1
-                t = time.perf_counter()
-                output = device.to_host(buf)
-                stage["d2h"] = time.perf_counter() - t
+                if placed and not on_device:
+                    output = np.asarray(hostval,
+                                        dtype=np.float64).reshape(-1)
+                else:
+                    t = time.perf_counter()
+                    output = device.to_host(buf)
+                    stage["d2h"] += time.perf_counter() - t
         except KernelExecutionError as exc:
             # The scope above already released every buffer; attach the
             # failed attempt's counters so callers (guarded retry, the
@@ -694,10 +925,16 @@ class CompiledProgram:
             restructure_seconds=stage["restructure"],
             h2d_seconds=stage["h2d"], kernel_seconds=stage["kernel"],
             d2h_seconds=stage["d2h"], compile_seconds=stage["compile"])
-        result = RunResult(output=output, selections=selections,
-                           predicted_kernel_seconds=predicted,
-                           transfer_seconds=self.transfer_seconds(params),
-                           stage_seconds=stage)
+        result = RunResult(
+            output=output, selections=selections,
+            predicted_kernel_seconds=predicted,
+            transfer_seconds=self.transfer_seconds(
+                params,
+                location=(InputLocation.HOST if input_on_host
+                          else InputLocation.DEVICE),
+                placements=(tuple(getattr(p, "placement", "gpu")
+                                  for p in plans) if placed else None)),
+            stage_seconds=stage)
         return result, delta
 
     def _execute_segment(self, segment: Segment, plan: KernelPlan,
@@ -767,6 +1004,56 @@ class CompiledProgram:
                     segment_index=index)
         return out
 
+    def _execute_segment_host(self, segment: Segment, plan: KernelPlan,
+                              index: int, hostval: np.ndarray,
+                              params: Dict[str, float]) -> np.ndarray:
+        """Host-side twin of :meth:`_execute_segment` for CPU placements.
+
+        Same fault-injection and error-wrapping contract; the data never
+        touches the device, so NaN poisoning and detection act directly
+        on the returned host array.
+        """
+        injector = self.faults
+        fault = injector.on_execute(plan) if injector is not None else None
+        if fault is not None and fault.kind != KIND_NAN:
+            cls = (KernelTimeoutError if fault.kind == KIND_TIMEOUT
+                   else KernelExecutionError)
+            raise cls(
+                f"injected {fault.kind} fault in plan {plan.strategy!r}",
+                injected=True, kind=fault.kind, segment=segment.name,
+                plan=plan.strategy, params=dict(freeze_scalars(params)),
+                segment_index=index)
+        try:
+            out = plan.execute_host(hostval, params)
+        except KernelExecutionError as exc:
+            if exc.segment is None:
+                exc.segment = segment.name
+            if exc.plan is None:
+                exc.plan = plan.strategy
+            if exc.params is None:
+                exc.params = dict(freeze_scalars(params))
+            if exc.segment_index is None:
+                exc.segment_index = index
+            raise
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise KernelExecutionError(
+                f"plan {plan.strategy!r} failed in segment "
+                f"{segment.name!r}: {exc}", segment=segment.name,
+                plan=plan.strategy, params=dict(freeze_scalars(params)),
+                kind="crash", segment_index=index) from exc
+        out = np.asarray(out, dtype=np.float64).reshape(-1)
+        if fault is not None:          # KIND_NAN: poison the output
+            out.fill(np.nan)
+        if injector is not None and np.isnan(out).any():
+            raise KernelExecutionError(
+                f"NaN output from plan {plan.strategy!r} in segment "
+                f"{segment.name!r}", injected=fault is not None,
+                kind=KIND_NAN, segment=segment.name, plan=plan.strategy,
+                params=dict(freeze_scalars(params)), segment_index=index)
+        return out
+
     def _recover_segment(self, exc: KernelExecutionError,
                          params: Dict[str, float],
                          plans: List[KernelPlan], input_on_host: bool):
@@ -824,6 +1111,7 @@ class CompiledProgram:
         refresh their cached selection.
         """
         recovery: Optional[SelectionStats] = None
+        reselect_total = 0.0
         while True:
             try:
                 result, delta = self._execute_plans(
@@ -837,8 +1125,15 @@ class CompiledProgram:
                     recovery.merge(partial)
                 if exc.injected:
                     recovery.faults_injected += 1
+                # The quarantine + re-selection is selection work: its
+                # wall-clock lands on the degraded run's ``select`` stage
+                # (it used to vanish — degraded items reported 0.0).
+                reselect_started = time.perf_counter()
                 recovered = self._recover_segment(exc, params, plans,
                                                   input_on_host)
+                reselect = time.perf_counter() - reselect_started
+                recovery.select_seconds += reselect
+                reselect_total += reselect
                 if recovered is None:
                     exc.stats_delta = recovery
                     raise
@@ -857,6 +1152,8 @@ class CompiledProgram:
             if recovery is not None:
                 recovery.degraded_runs = 1
                 delta.merge(recovery)
+                result.stage_seconds["select"] = \
+                    result.stage_seconds.get("select", 0.0) + reselect_total
             return result, delta, plans, plan_costs
 
     def run(self, host_input: np.ndarray, params: Dict[str, float], *,
@@ -912,7 +1209,8 @@ class CompiledProgram:
         compile_before = COMPILE_COUNTER.snapshot()
         restructure_before = RESTRUCTURE_COUNTER.snapshot()
         started = time.perf_counter()
-        plans = self.select(params, force, input_on_host=location)
+        plans = self.select(params, force, input_on_host=location,
+                            placement=opts.placement)
         select_seconds = time.perf_counter() - started
         try:
             result, delta, plans, _ = self._execute_guarded(
@@ -924,7 +1222,10 @@ class CompiledProgram:
             if partial is not None:
                 self.stats.merge(partial)
             raise
-        result.stage_seconds["select"] = select_seconds
+        # Accumulate, don't overwrite: a degraded run already carries its
+        # re-selection wall on the select stage.
+        result.stage_seconds["select"] = \
+            result.stage_seconds.get("select", 0.0) + select_seconds
         self.stats.merge(delta)
         if feedback:
             config = (feedback if isinstance(feedback, FeedbackConfig)
@@ -982,8 +1283,10 @@ class CompiledProgram:
         ``warm=True`` (default) each distinct binding is warmed up
         front, so worker threads never compile and never rebuild
         permutations.  The one ``select()`` per binding is timed and its
-        wall-clock attributed to the binding's first completed result
-        (every other item at the binding reports ``select == 0``), so
+        wall-clock attributed to the binding's first completed result;
+        every other item at the binding reports ``select == 0`` unless
+        it degraded onto a replacement variant, in which case it keeps
+        its own re-selection wall — so
         :meth:`SelectionStats.stage_summary` totals stay truthful.
         ``workers > 1`` fans the batch out over a thread pool with one
         device per worker (arenas are not thread-safe); per-run counters
@@ -1050,7 +1353,8 @@ class CompiledProgram:
                 self.warmup(params, force=force,
                             options=dataclasses.replace(opts, feedback=False))
             started = time.perf_counter()
-            plans = self.select(params, force, input_on_host=location)
+            plans = self.select(params, force, input_on_host=location,
+                                placement=opts.placement)
             select_seconds[key] = time.perf_counter() - started
             selections[key] = plans
             plan_costs[key] = {id(plan): self.cost.plan_seconds(plan, params)
@@ -1098,7 +1402,9 @@ class CompiledProgram:
                 with refresh_lock:
                     selections[key] = used_plans
                     plan_costs[key] = used_costs
-            result.stage_seconds["select"] = 0.0
+            # A degraded item keeps the re-selection wall the guarded
+            # runner attributed to its select stage; hard-zeroing here
+            # used to erase it from the stage totals.
             return result, delta
 
         results: List[Optional[RunResult]] = [None] * len(inputs)
@@ -1140,7 +1446,9 @@ class CompiledProgram:
             if key in attributed or results[index] is None:
                 continue
             attributed.add(key)
-            results[index].stage_seconds["select"] = select_seconds[key]
+            results[index].stage_seconds["select"] = \
+                results[index].stage_seconds.get("select", 0.0) \
+                + select_seconds[key]
         if feedback:
             # Feedback is per binding, from the binding's first
             # *completed* item — valid measurements from surviving items
@@ -1690,6 +1998,54 @@ class CompiledProgram:
                                   params=dict(freeze_scalars(params))
                                   ) from exc
 
+    def _baked_prev_placement(self, index: int,
+                              point: Dict[str, float]) -> Optional[str]:
+        """Placement of segment ``index - 1``'s baked winner at ``point``.
+
+        Greedy chaining for placement-aware sweeps: segments bake in
+        chain order, so the previous segment's table is already final
+        when this one sweeps.  Falls back to the segment's dominant side
+        when no table covers the point (sweep failure, out-of-box).
+        """
+        if index <= 0:
+            return None
+        prev = self.segments[index - 1]
+        winner = None
+        dispatch = prev.dispatch
+        try:
+            if type(dispatch) is RegionDispatch:
+                winner = dispatch.region.lookup(point)
+            elif dispatch is not None:
+                value = point.get(dispatch.axis)
+                if value is not None:
+                    winner = dispatch.table.lookup(value)
+        except (KeyError, TypeError, ValueError):
+            winner = None
+        if winner is not None:
+            for plan in prev.plans:
+                if plan.strategy == winner:
+                    return getattr(plan, "placement", "gpu")
+        placements = {getattr(p, "placement", "gpu") for p in prev.plans}
+        return "cpu" if placements == {"cpu"} else "gpu"
+
+    def _swept_seconds(self, cost, segment: Segment, index: int,
+                       plan: KernelPlan, point: Dict[str, float]) -> float:
+        """One candidate's cost at one swept point, placement-priced.
+
+        With placement compiled as a selection axis every swept
+        candidate carries its boundary terms (entry/exit hops, layout
+        gather), so the baked break-even surfaces encode the CPU/GPU
+        split point — an in-range lookup then routes small shapes to the
+        CPU with zero model evaluations.  Legacy programs sweep the raw
+        kernel cost exactly as before.
+        """
+        seconds = self._sweep_cost(cost, plan, point)
+        if not self._placement:
+            return seconds
+        return seconds + self._placement_extra(
+            segment, plan, point, self._baked_prev_placement(index, point),
+            index == 0, index == len(self.segments) - 1, True)
+
     def _rebake_dispatch(self, segment: Segment,
                          params: Optional[Dict[str, float]] = None) -> bool:
         """Re-sweep one segment's baked table under calibrated costs.
@@ -1709,10 +2065,12 @@ class CompiledProgram:
         base = dict(dispatch.extras)
         cost = self._selection_cost()
         eligible = self._eligible(segment, dispatch.from_host)
+        seg_index = self.segments.index(segment)
         variants = [
             Variant(plan.strategy,
-                    lambda v, plan=plan: self._sweep_cost(
-                        cost, plan, {**base, dispatch.axis: int(v)}))
+                    lambda v, plan=plan: self._swept_seconds(
+                        cost, segment, seg_index, plan,
+                        {**base, dispatch.axis: int(v)}))
             for plan in eligible
         ]
         with self.cost.compile_scope():
@@ -1741,10 +2099,11 @@ class CompiledProgram:
         names = dispatch.region.names
         cost = self._selection_cost()
         eligible = self._eligible(segment, dispatch.from_host)
+        seg_index = self.segments.index(segment)
         variants = [
             Variant(plan.strategy,
                     lambda values, plan=plan:
-                    self._sweep_cost(cost, plan, {
+                    self._swept_seconds(cost, segment, seg_index, plan, {
                         **base,
                         **{name: int(v)
                            for name, v in zip(names, values)}}))
@@ -1795,6 +2154,7 @@ class CompiledProgram:
                 plan.clear_warm_cache()
         self.cost.clear()
         self._transfer_memo.clear()
+        self._directed_transfer_memo.clear()
         self.calibration.reset()
         self._chain_cache.clear()
         self._chain_pins.clear()
@@ -1888,13 +2248,15 @@ class CompiledProgram:
             base = {k: v for k, v in extras.items() if k != axis}
             with self.cost.compile_scope():
                 from_host = True
-                for segment in self.segments:
+                for seg_index, segment in enumerate(self.segments):
                     eligible = self._eligible(segment, from_host)
                     variants = [
                         Variant(plan.strategy,
-                                lambda v, plan=plan, axis=axis:
-                                self._sweep_cost(
-                                    cost, plan, {**base, axis: int(v)}))
+                                lambda v, plan=plan, axis=axis,
+                                segment=segment, seg_index=seg_index:
+                                self._swept_seconds(
+                                    cost, segment, seg_index, plan,
+                                    {**base, axis: int(v)}))
                         for plan in eligible
                     ]
                     try:
@@ -1934,12 +2296,14 @@ class CompiledProgram:
         cost = self._selection_cost()
         with self.cost.compile_scope():
             from_host = True
-            for segment in self.segments:
+            for seg_index, segment in enumerate(self.segments):
                 eligible = self._eligible(segment, from_host)
                 variants = [
                     Variant(plan.strategy,
-                            lambda values, plan=plan:
-                            self._sweep_cost(cost, plan, {
+                            lambda values, plan=plan,
+                            segment=segment, seg_index=seg_index:
+                            self._swept_seconds(cost, segment, seg_index,
+                                                plan, {
                                 **base,
                                 **{name: int(v)
                                    for name, v in zip(names, values)}}))

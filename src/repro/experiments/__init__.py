@@ -1,9 +1,9 @@
 """Per-figure experiment drivers (the harness behind ``benchmarks/``)."""
 
 from . import (code_size, fig01, fig09, fig10, fig11, fig12,
-               model_validation, multiaxis, sec53)
+               model_validation, multiaxis, placement, sec53)
 from .common import FigureResult, Series
 
 __all__ = ["fig01", "fig09", "fig10", "fig11", "fig12", "sec53",
-           "code_size", "model_validation", "multiaxis", "FigureResult",
-           "Series"]
+           "code_size", "model_validation", "multiaxis", "placement",
+           "FigureResult", "Series"]

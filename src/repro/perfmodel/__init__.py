@@ -5,6 +5,10 @@ from .breakeven import (AxisSpec, DecisionTable, RegionNode, RegionTable,
                         sweep, sweep_axis, sweep_region)
 from .calibration import (CalibrationStore, FeedbackConfig, Observation,
                           selection_accuracy, size_bucket)
+from .hostmodel import (HOST_MEM_BANDWIDTH_GBPS,
+                        HOST_VECTOR_DISPATCH_SECONDS,
+                        HOST_VECTOR_OPS_PER_SECOND, hop_seconds,
+                        layout_transform_seconds)
 from .model import (BLOCK_SCHED_OVERHEAD_CYCLES, KernelCategory,
                     KernelEstimate, KernelWorkload, PerformanceModel)
 
@@ -16,4 +20,7 @@ __all__ = [
     "argmin_variant", "geometric_points",
     "CalibrationStore", "FeedbackConfig", "Observation",
     "selection_accuracy", "size_bucket",
+    "hop_seconds", "layout_transform_seconds",
+    "HOST_VECTOR_OPS_PER_SECOND", "HOST_VECTOR_DISPATCH_SECONDS",
+    "HOST_MEM_BANDWIDTH_GBPS",
 ]

@@ -171,6 +171,24 @@ class CalibrationStore:
         """
         return not self._factors and not self._bias
 
+    # -- device namespaces ----------------------------------------------
+    @staticmethod
+    def family_device(family: str) -> str:
+        """Execution device a plan family's factors describe.
+
+        Host plan families carry the ``cpu.`` strategy prefix, so the
+        per-``(family, bucket)`` factor keys already form disjoint
+        per-device namespaces: feedback on a GPU variant can never bend
+        a CPU prediction (and vice versa), which is what keeps
+        heterogeneous break-even points stable under calibration.
+        """
+        return "cpu" if family.startswith("cpu.") else "gpu"
+
+    def device_factors(self, device: str) -> Dict[Tuple[str, int], float]:
+        """The ``(family, bucket) -> factor`` view of one device's state."""
+        return {key: state.factor for key, state in self._factors.items()
+                if self.family_device(key[0]) == device}
+
     # -- factors ---------------------------------------------------------
     def ewma(self, family: str, bucket: int) -> float:
         """Learned calibration factor for one family at one bucket."""

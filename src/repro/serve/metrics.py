@@ -27,7 +27,10 @@ def percentile(values: List[float], p: float) -> float:
     if not 0 <= p <= 100:
         raise ValueError(f"percentile must be in [0, 100], got {p}")
     ordered = sorted(values)
-    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    # Clamp the nearest rank into [1, len]: small windows (fewer samples
+    # than the percentile's implied resolution) must answer with the max
+    # sample, never index past the list or collapse toward the median.
+    rank = min(len(ordered), max(1, math.ceil(p / 100.0 * len(ordered))))
     return ordered[rank - 1]
 
 
